@@ -1,0 +1,28 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+(see DESIGN.md's experiment index).  The rendered tables are printed and
+also written under ``benchmarks/output/`` so artefacts survive pytest's
+output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def table_sink():
+    """Write a rendered table to benchmarks/output/<name>.txt and echo it."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = OUTPUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[table written to {path}]")
+
+    return write

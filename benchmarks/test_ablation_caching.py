@@ -1,0 +1,47 @@
+"""A1 — schedule caching vs per-execution re-inspection.
+
+The paper's §3.2 design point ("saving them for later loop executions
+... amortizes the cost of the run-time analysis") contrasted with Rogers
+& Pingali's uncached run-time resolution (§5: "fairly inefficient").
+"""
+
+import pytest
+
+from repro.bench.experiments import caching_ablation
+from repro.bench.tables import ablation_table
+from repro.machine.cost import NCUBE7
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return caching_ablation(NCUBE7, nprocs=16, sweep_counts=[1, 10, 100])
+
+
+def test_table_a1(benchmark, rows, table_sink):
+    table = benchmark.pedantic(
+        lambda: ablation_table(
+            "A1: schedule caching vs re-inspection, NCUBE/7 P=16, 64x64",
+            rows,
+            ["cached_total", "uncached_total", "ratio"],
+            key_header="sweeps",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink("A1_caching", table)
+
+
+def test_single_sweep_identical(rows):
+    """With one sweep there is nothing to amortise: both run one inspector."""
+    assert rows[0].values["ratio"] == pytest.approx(1.0, rel=0.02)
+
+
+def test_caching_wins_grow_with_sweeps(rows):
+    ratios = [r.values["ratio"] for r in rows]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 3.0  # at 100 sweeps, caching is several times faster
+
+
+def test_uncached_scales_linearly(rows):
+    by_sweeps = {r.key: r.values["uncached_total"] for r in rows}
+    assert by_sweeps[100] == pytest.approx(10 * by_sweeps[10], rel=0.05)

@@ -1,0 +1,91 @@
+"""A5 — message combining across arrays (§3.3).
+
+"Sorting by processor id also allowed us to combine messages between the
+same two processors, thus saving on the number of messages.  If there are
+several arrays to be communicated, we can add a symbol field identifying
+the array."
+
+The workload is a two-array stencil (both A and B communicate their
+boundaries every execution); combining halves the message count, saving
+one alpha per peer per execution — significant on the startup-dominated
+NCUBE.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.context import KaliContext
+from repro.core.forall import Affine, AffineRead, AffineWrite, Forall, OnOwner
+from repro.distributions import Block
+from repro.machine.cost import NCUBE7
+from repro.util.fmt import render_table
+
+N, P, REPS = 4096, 16, 50
+
+
+def _run(combine: bool):
+    ctx = KaliContext(P, machine=NCUBE7, combine_messages=combine)
+    rng = np.random.default_rng(0)
+    ctx.array("A", N, dist=[Block()]).set(rng.random(N))
+    ctx.array("B", N, dist=[Block()]).set(rng.random(N))
+    ctx.array("C", N, dist=[Block()]).set(np.zeros(N))
+    loop = Forall(
+        index_range=(1, N - 2),
+        on=OnOwner("C"),
+        reads=[
+            AffineRead("A", Affine(1, -1), name="al"),
+            AffineRead("A", Affine(1, 1), name="ar"),
+            AffineRead("B", Affine(1, -1), name="bl"),
+            AffineRead("B", Affine(1, 1), name="br"),
+        ],
+        writes=[AffineWrite("C")],
+        kernel=lambda i, o: (o["al"] + o["ar"] + o["bl"] + o["br"]) / 4.0,
+        label=f"combine-{combine}",
+    )
+
+    def program(kr):
+        for _ in range(REPS):
+            yield from kr.forall(loop)
+
+    res = ctx.run(program)
+    return res, ctx.arrays["C"].data.copy()
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {flag: _run(flag) for flag in (True, False)}
+
+
+def test_table_a5(benchmark, results, table_sink):
+    def render():
+        rows = []
+        for flag in (False, True):
+            res, _ = results[flag]
+            rows.append([
+                "combined" if flag else "per-array",
+                res.engine.total_messages() // REPS,
+                f"{res.executor_time:.3f}",
+            ])
+        return render_table(
+            f"A5: message combining, two-array stencil, NCUBE/7 P={P}, "
+            f"{REPS} executions",
+            ["messages", "msgs/exec", "executor (s)"],
+            rows,
+        )
+
+    table = benchmark.pedantic(render, rounds=1, iterations=1)
+    table_sink("A5_combining", table)
+
+
+def test_combining_halves_message_count(results):
+    combined = results[True][0].engine.total_messages()
+    separate = results[False][0].engine.total_messages()
+    assert combined == separate / 2
+
+
+def test_combining_saves_time(results):
+    assert results[True][0].executor_time < results[False][0].executor_time
+
+
+def test_same_numerics(results):
+    np.testing.assert_array_equal(results[True][1], results[False][1])

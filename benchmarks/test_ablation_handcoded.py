@@ -1,0 +1,62 @@
+"""A3 — Kali-generated code vs hand-written message passing.
+
+The paper's §1 claim ("virtually identical to that which would be
+achieved had the user programmed directly in a message-passing language")
+and its §4 caveat (the search overhead "is primarily responsible for
+suboptimal speedups") are two ends of the same curve: at small P the gap
+is a percent or two; at P=128 on a 128x128 mesh, boundary searches
+dominate.
+"""
+
+import pytest
+
+from repro.bench.experiments import handcoded_ablation
+from repro.bench.tables import ablation_table
+from repro.machine.cost import NCUBE7
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return handcoded_ablation(NCUBE7, [2, 8, 32, 128])
+
+
+def test_table_a3(benchmark, rows, table_sink):
+    table = benchmark.pedantic(
+        lambda: ablation_table(
+            "A3: Kali vs hand-coded message passing, NCUBE/7, 128x128, "
+            "100 sweeps",
+            rows,
+            ["kali_executor", "handcoded_executor", "kali_overhead"],
+            key_header="procs",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink("A3_handcoded", table)
+
+
+def test_virtually_identical_at_small_p(rows):
+    by_p = {r.key: r.values["kali_overhead"] for r in rows}
+    assert by_p[2] < 0.05  # within 5% of hand-coded at P=2
+
+
+def test_search_overhead_grows_with_p(rows):
+    overheads = [r.values["kali_overhead"] for r in rows]
+    assert overheads == sorted(overheads)
+
+
+def test_same_numerics():
+    """Both versions compute the same answer, bit for bit."""
+    import numpy as np
+
+    from repro.apps.jacobi import build_jacobi
+    from repro.baselines.handcoded import handcoded_jacobi
+    from repro.meshes.regular import five_point_grid
+
+    mesh = five_point_grid(32, 32)
+    rng = np.random.default_rng(5)
+    init = rng.random(mesh.n)
+    kali = build_jacobi(mesh, 8, machine=NCUBE7, initial=init)
+    kali.run(sweeps=5)
+    hc = handcoded_jacobi(32, 32, 8, NCUBE7, sweeps=5, initial=init)
+    np.testing.assert_allclose(kali.solution, hc.solution)

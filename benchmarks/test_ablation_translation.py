@@ -1,0 +1,42 @@
+"""A2 — sorted-range translation tables vs Saltz-style enumeration (§5).
+
+"They explicitly enumerate all array references ... This eliminates the
+overhead of checking and searching for nonlocal references during the
+loop execution but requires more storage than our implementation."
+"""
+
+import pytest
+
+from repro.bench.experiments import translation_ablation
+from repro.bench.tables import dict_table
+from repro.machine.cost import NCUBE7
+
+
+@pytest.fixture(scope="module")
+def results():
+    return translation_ablation(NCUBE7, nprocs=32)
+
+
+def test_table_a2(benchmark, results, table_sink):
+    table = benchmark.pedantic(
+        lambda: dict_table(
+            "A2: sorted ranges vs enumeration, NCUBE/7 P=32, 128x128", results
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink("A2_translation", table)
+
+
+def test_enumeration_is_faster(results):
+    """No per-reference binary search -> cheaper executor."""
+    assert results["enumerated_executor"] < results["ranged_executor"]
+    assert results["executor_saving"] > 0.05
+
+
+def test_enumeration_needs_more_storage(results):
+    """...but stores one entry per element instead of per range."""
+    assert (
+        results["enumerated_entries_per_rank"]
+        > results["range_records_per_rank"] * 10
+    )

@@ -1,0 +1,97 @@
+"""Micro-benchmarks of the runtime's host-side building blocks.
+
+These time the actual Python/NumPy implementation (not virtual time):
+inspector classification throughput, executor sweep throughput,
+translation-table lookups, and the crystal router.  Useful for tracking
+performance regressions of the simulator itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.jacobi import build_jacobi
+from repro.machine.cost import NCUBE7
+from repro.machine.engine import Engine
+from repro.machine.topology import Hypercube
+from repro.meshes.regular import five_point_grid
+from repro.runtime.schedule import ArraySchedule, coalesce_ranges
+from repro.runtime.translation import TranslationTable
+
+
+def test_jacobi_sweep_throughput(benchmark):
+    """Host wall-time of one full simulated sweep (128x128, P=16)."""
+    mesh = five_point_grid(128, 128)
+    prog = build_jacobi(mesh, 16, machine=NCUBE7)
+    prog.run(sweeps=1)  # warm: builds and caches nothing across runs
+
+    def sweep():
+        p = build_jacobi(mesh, 16, machine=NCUBE7)
+        p.run(sweeps=1)
+
+    benchmark.pedantic(sweep, rounds=3, iterations=1)
+
+
+def test_inspector_classification_rate(benchmark):
+    """Vectorised owner-classification of 65k references."""
+    from repro.distributions import Block
+
+    dist = Block().bind(1 << 16, 64)
+    refs = np.random.default_rng(0).integers(0, 1 << 16, size=1 << 16)
+
+    def classify():
+        owners = dist.owner(refs)
+        return (owners != 7).sum()
+
+    benchmark(classify)
+
+
+def test_translation_lookup_rate(benchmark):
+    """Vectorised O(log r) lookups over a 1000-range table."""
+    rng = np.random.default_rng(1)
+    offsets = {}
+    for q in range(16):
+        offsets[q] = np.unique(rng.integers(0, 10000, size=500))
+    records = coalesce_ranges(offsets, me=0, incoming=True)
+    sched = ArraySchedule(array="x", in_records=records)
+    sched.finalize()
+    procs = rng.integers(0, 16, size=10000)
+    offs = np.concatenate([
+        rng.choice(offsets[q], size=625) for q in range(16)
+    ])
+    procs = np.repeat(np.arange(16), 625)
+
+    benchmark(lambda: sched.translation.lookup(procs, offs))
+
+
+def test_crystal_router_wall_time(benchmark):
+    """64-rank crystal router all-to-all on the simulator."""
+    from repro.comm.crystal import crystal_route
+
+    def route():
+        def prog(rank):
+            out = {q: np.arange(8) for q in range(rank.size)}
+            got = yield from crystal_route(rank, out)
+            return len(got)
+
+        res = Engine(NCUBE7, topology=Hypercube(64)).run(prog)
+        assert all(v == 64 for v in res.values)
+
+    benchmark.pedantic(route, rounds=3, iterations=1)
+
+
+def test_engine_message_rate(benchmark):
+    """Raw engine throughput: 10k point-to-point messages."""
+    from repro.machine.api import Recv, Send
+
+    def run():
+        def prog(rank):
+            if rank.id == 0:
+                for i in range(5000):
+                    yield Send(dest=1, payload=i, tag=0)
+            else:
+                for _ in range(5000):
+                    yield Recv(source=0, tag=0)
+
+        Engine(NCUBE7, topology=Hypercube(2)).run(prog)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,58 @@
+"""E5 — §4 in-text claim: the single-sweep worst case.
+
+"In the worst case, where one performs only one sweep, the inspector
+overhead on the NCUBE would range from 45% on 2 processors to 93% on 128
+processors, while on the iPSC it ranges from 35% to 41%."
+"""
+
+import pytest
+
+from repro.bench import calibration as cal
+from repro.bench.experiments import single_sweep_overhead
+from repro.bench.tables import overhead_table
+from repro.machine.cost import IPSC2, NCUBE7
+
+
+@pytest.fixture(scope="module")
+def ncube_rows():
+    return single_sweep_overhead(NCUBE7, cal.NCUBE_PROC_COUNTS)
+
+
+@pytest.fixture(scope="module")
+def ipsc_rows():
+    return single_sweep_overhead(IPSC2, cal.IPSC_PROC_COUNTS)
+
+
+def test_table_e5(benchmark, ncube_rows, ipsc_rows, table_sink):
+    def render():
+        return "\n\n".join([
+            overhead_table(
+                "E5: single-sweep inspector overhead, NCUBE/7 (paper: 45%..93%)",
+                ncube_rows,
+            ),
+            overhead_table(
+                "E5: single-sweep inspector overhead, iPSC/2 (paper: 35%..41%)",
+                ipsc_rows,
+            ),
+        ])
+
+    table = benchmark.pedantic(render, rounds=1, iterations=1)
+    table_sink("E5_single_sweep", table)
+
+
+def test_ncube_range_matches_paper(ncube_rows):
+    lo, hi = cal.PAPER_SINGLE_SWEEP_OVERHEAD["NCUBE/7"]
+    assert ncube_rows[0].overhead == pytest.approx(lo, abs=0.05)
+    assert ncube_rows[-1].overhead == pytest.approx(hi, abs=0.05)
+
+
+def test_ipsc_range_matches_paper(ipsc_rows):
+    lo, hi = cal.PAPER_SINGLE_SWEEP_OVERHEAD["iPSC/2"]
+    assert ipsc_rows[0].overhead == pytest.approx(lo, abs=0.05)
+    # the paper measured up to 32 procs; allow the top end a wider band
+    assert ipsc_rows[-1].overhead == pytest.approx(hi, abs=0.08)
+
+
+def test_overhead_monotone_in_processors(ncube_rows):
+    overheads = [r.overhead for r in ncube_rows]
+    assert overheads == sorted(overheads)

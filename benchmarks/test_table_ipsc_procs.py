@@ -1,0 +1,54 @@
+"""E2 — paper Figure 8: iPSC/2, 128x128 mesh, 100 sweeps, P = 2..32."""
+
+import pytest
+
+from repro.bench import calibration as cal
+from repro.bench.experiments import processor_scaling
+from repro.bench.tables import processor_table
+from repro.machine.cost import IPSC2, NCUBE7
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return processor_scaling(IPSC2, cal.IPSC_PROC_COUNTS)
+
+
+def test_table_e2(benchmark, rows, table_sink):
+    table = benchmark.pedantic(
+        lambda: processor_table(
+            "E2 (paper Fig. 8): iPSC/2, 128x128, 100 sweeps",
+            rows,
+            cal.PAPER_IPSC_PROCS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink("E2_ipsc_procs", table)
+
+
+def test_cells_within_band(rows):
+    for r in rows:
+        pt, pe, pi = cal.PAPER_IPSC_PROCS[r.key]
+        assert r.executor == pytest.approx(pe, rel=0.15), f"P={r.key} executor"
+        assert r.inspector == pytest.approx(pi, rel=0.30), f"P={r.key} inspector"
+        assert r.total == pytest.approx(pt, rel=0.15), f"P={r.key} total"
+
+
+def test_overhead_below_one_percent(rows):
+    """Paper: 'on the iPSC it is always less than 1% of the total'."""
+    assert all(r.overhead < 0.01 for r in rows)
+
+
+def test_no_u_shape_on_ipsc(rows):
+    """Paper: 'this behavior is not seen [on the iPSC] because the
+    locality-checking loop always dominates' — inspector time decreases
+    monotonically over the measured range."""
+    insp = [r.inspector for r in rows]
+    assert insp == sorted(insp, reverse=True)
+
+
+def test_ipsc_node_faster_than_ncube():
+    """Cross-machine sanity: the iPSC/2 runs the same job ~4x faster."""
+    ncube = processor_scaling(NCUBE7, [4])[0]
+    ipsc = processor_scaling(IPSC2, [4])[0]
+    assert 3.0 < ncube.executor / ipsc.executor < 5.0

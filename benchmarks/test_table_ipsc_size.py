@@ -1,0 +1,49 @@
+"""E4 — paper Figure 10: iPSC/2, 32 processors, mesh 64^2 .. 1024^2."""
+
+import pytest
+
+from repro.bench import calibration as cal
+from repro.bench.experiments import size_scaling
+from repro.bench.tables import size_table
+from repro.machine.cost import IPSC2
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return size_scaling(IPSC2, cal.IPSC_SIZE_PROCS)
+
+
+def test_table_e4(benchmark, rows, table_sink):
+    table = benchmark.pedantic(
+        lambda: size_table(
+            "E4 (paper Fig. 10): iPSC/2, P=32, varying mesh size",
+            rows,
+            cal.PAPER_IPSC_SIZES,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink("E4_ipsc_sizes", table)
+
+
+def test_cells_within_band(rows):
+    for r in rows:
+        pt, pe, pi, ps = cal.PAPER_IPSC_SIZES[r.key]
+        assert r.executor == pytest.approx(pe, rel=0.15), f"{r.key}^2 executor"
+        assert r.speedup == pytest.approx(ps, rel=0.15), f"{r.key}^2 speedup"
+        # inspector values are tiny (20-40ms); allow a looser relative band
+        assert r.inspector == pytest.approx(pi, rel=0.5), f"{r.key}^2 inspector"
+
+
+def test_overhead_decreases_with_size(rows):
+    overheads = [r.overhead for r in rows]
+    assert overheads == sorted(overheads, reverse=True)
+    assert overheads[-1] < 0.01  # paper: 0.56% at 1024^2
+
+
+def test_speedup_saturates_near_30(rows):
+    """Paper: speedup rises 15.7 -> 30.3 on 32 processors, approaching
+    but not reaching P because of the residual search overhead."""
+    speedups = [r.speedup for r in rows]
+    assert speedups == sorted(speedups)
+    assert 28 < speedups[-1] <= 32

@@ -1,0 +1,60 @@
+"""E1 — paper Figure 7: NCUBE/7, 128x128 mesh, 100 sweeps, P = 2..128.
+
+Regenerates the processor-scaling table and asserts the reproduction
+bands: every cell within 15% of the paper, inspector overhead growing
+with P but bounded, U-shaped inspector curve with its minimum at P=16.
+"""
+
+import pytest
+
+from repro.bench import calibration as cal
+from repro.bench.experiments import processor_scaling
+from repro.bench.tables import processor_table
+from repro.machine.cost import NCUBE7
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return processor_scaling(NCUBE7, cal.NCUBE_PROC_COUNTS)
+
+
+def test_table_e1(benchmark, rows, table_sink):
+    table = benchmark.pedantic(
+        lambda: processor_table(
+            "E1 (paper Fig. 7): NCUBE/7, 128x128, 100 sweeps",
+            rows,
+            cal.PAPER_NCUBE_PROCS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink("E1_ncube_procs", table)
+
+
+def test_cells_within_band(rows):
+    for r in rows:
+        pt, pe, pi = cal.PAPER_NCUBE_PROCS[r.key]
+        assert r.executor == pytest.approx(pe, rel=0.15), f"P={r.key} executor"
+        assert r.inspector == pytest.approx(pi, rel=0.15), f"P={r.key} inspector"
+        assert r.total == pytest.approx(pt, rel=0.15), f"P={r.key} total"
+
+
+def test_inspector_overhead_small_and_growing(rows):
+    """Paper: 'the overhead from the inspector is never very high; for the
+    NCUBE it varies from less than 1% to about 12%'."""
+    overheads = [r.overhead for r in rows]
+    assert overheads[0] < 0.01
+    assert overheads[-1] < 0.13
+    assert overheads == sorted(overheads)
+
+
+def test_inspector_u_shape_minimum_at_16(rows):
+    """Paper: inspector time 'starts high, decreases to a minimum at 16
+    processors, and then increases slowly'."""
+    by_p = {r.key: r.inspector for r in rows}
+    assert min(by_p, key=by_p.get) == 16
+
+
+def test_executor_scales_down_with_processors(rows):
+    times = [r.executor for r in rows]
+    assert times == sorted(times, reverse=True)

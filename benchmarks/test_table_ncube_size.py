@@ -1,0 +1,53 @@
+"""E3 — paper Figure 9: NCUBE/7, 128 processors, mesh 64^2 .. 1024^2.
+
+The paper's claims here: inspector overhead *decreases* with problem
+size (27.8% -> 1.2%) and speedup *increases* (23.9 -> 98.9) — "our
+inspector-executor code organization can be expected to scale well as
+problem size increases".
+"""
+
+import pytest
+
+from repro.bench import calibration as cal
+from repro.bench.experiments import size_scaling
+from repro.bench.tables import size_table
+from repro.machine.cost import NCUBE7
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return size_scaling(NCUBE7, cal.NCUBE_SIZE_PROCS)
+
+
+def test_table_e3(benchmark, rows, table_sink):
+    table = benchmark.pedantic(
+        lambda: size_table(
+            "E3 (paper Fig. 9): NCUBE/7, P=128, varying mesh size",
+            rows,
+            cal.PAPER_NCUBE_SIZES,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink("E3_ncube_sizes", table)
+
+
+def test_cells_within_band(rows):
+    for r in rows:
+        pt, pe, pi, ps = cal.PAPER_NCUBE_SIZES[r.key]
+        assert r.executor == pytest.approx(pe, rel=0.15), f"{r.key}^2 executor"
+        assert r.inspector == pytest.approx(pi, rel=0.15), f"{r.key}^2 inspector"
+        assert r.speedup == pytest.approx(ps, rel=0.15), f"{r.key}^2 speedup"
+
+
+def test_overhead_decreases_with_size(rows):
+    overheads = [r.overhead for r in rows]
+    assert overheads == sorted(overheads, reverse=True)
+    assert overheads[0] > 0.2    # paper: 27.8% at 64^2
+    assert overheads[-1] < 0.02  # paper: 1.2% at 1024^2
+
+
+def test_speedup_increases_with_size(rows):
+    speedups = [r.speedup for r in rows]
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 90  # paper: 98.9 on 128 processors

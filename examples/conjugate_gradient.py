@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Conjugate gradients: every Kali ingredient in one solver.
+
+The paper's closing agenda includes "more complex example programs" (§6).
+This example solves ``A x = b`` (A = identity + graph Laplacian of an
+unstructured mesh, symmetric positive definite) with CG built entirely
+from global-name-space foralls:
+
+* SpMV      — the ``p[acol[i,j]]`` gather (inspector, schedule cached),
+* dot       — sum-reduction foralls (local fold + allreduce),
+* AXPY      — aligned affine foralls (statically local, zero messages),
+* recurrence— replicated scalars updated identically on every rank.
+
+The answer is checked against a dense NumPy solve, and the timing shows
+the paper's amortisation story at work: one inspection serves dozens of
+SpMV executions.
+
+Run:  python examples/conjugate_gradient.py
+"""
+
+import numpy as np
+
+from repro.apps.cg import CGSolver, dense_matrix
+from repro.machine.cost import IPSC2, NCUBE7
+from repro.meshes.unstructured import average_degree, random_unstructured_mesh
+
+NODES = 600
+P = 8
+
+
+def main() -> None:
+    mesh, _ = random_unstructured_mesh(NODES, seed=13)
+    rng = np.random.default_rng(7)
+    b = rng.random(mesh.n)
+    print(f"mesh: {mesh.n} nodes, average degree {average_degree(mesh):.2f}; "
+          f"A = I + Laplacian (SPD)")
+
+    for machine in (NCUBE7, IPSC2):
+        solver = CGSolver(mesh, P, machine=machine)
+        result = solver.solve(b, tol=1e-10)
+        t = result.timing
+        stats = t.cache_stats()
+        print(f"\n[{machine.name}] converged in {result.iterations} iterations, "
+              f"residual {result.residual:.2e}")
+        print(f"  inspector {t.inspector_time:.4f}s (ran once), "
+              f"executor {t.executor_time:.4f}s")
+        print(f"  schedule cache: {stats['hits']} hits / {stats['misses']} misses")
+
+    x_ref = np.linalg.solve(dense_matrix(mesh), b)
+    err = np.abs(solver.ctx.arrays["x"].data - x_ref).max()
+    print(f"\nmax |x - dense solve| = {err:.2e}")
+    assert err < 1e-7
+    print("matches the dense NumPy solve.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Exploring data distributions without rewriting the program (§2.4).
+
+"The global name space model used here allows the bodies of the forall
+loops to be independent of the distribution of the data ... a variety of
+distribution patterns can easily be tried by trivial modification of
+this program.  Such a modification in a message passing language would
+involve extensive rewriting of the communications statements."
+
+This example runs ONE stencil program under five distributions and
+prints, for each: communication volume, inspector/executor virtual time
+on both machines, and confirms all answers are identical.
+
+Run:  python examples/distribution_explorer.py
+"""
+
+import numpy as np
+
+from repro.apps.jacobi import build_jacobi
+from repro.distributions import Block, BlockCyclic, Custom, Cyclic
+from repro.machine.cost import IPSC2, NCUBE7
+from repro.meshes.regular import five_point_grid
+from repro.util.fmt import render_table
+
+SIDE = 48
+P = 8
+SWEEPS = 10
+
+
+def main() -> None:
+    mesh = five_point_grid(SIDE, SIDE)
+    rng = np.random.default_rng(17)
+    init = rng.random(mesh.n)
+
+    # A user-defined distribution: snake rows across processors.
+    rows_per = SIDE // P
+    snake = ((np.arange(mesh.n) // SIDE) // rows_per).clip(0, P - 1)
+
+    distributions = [
+        ("block", lambda: Block()),
+        ("cyclic", lambda: Cyclic()),
+        ("block_cyclic(16)", lambda: BlockCyclic(16)),
+        ("block_cyclic(64)", lambda: BlockCyclic(64)),
+        ("custom(row bands)", lambda: Custom(snake)),
+    ]
+
+    reference = None
+    rows = []
+    for name, mk in distributions:
+        row = [name]
+        for machine in (NCUBE7, IPSC2):
+            prog = build_jacobi(mesh, P, machine=machine, dist=mk(),
+                                initial=init)
+            res = prog.run(sweeps=SWEEPS)
+            if reference is None:
+                reference = prog.solution
+            else:
+                assert np.allclose(prog.solution, reference), name
+            if machine is NCUBE7:
+                elems = res.engine.counter_sum("executor_elems_sent") // SWEEPS
+                row.append(str(elems))
+                row.append(res.strategies()["jacobi-relax"])
+            row.append(f"{res.inspector_time:.3f}")
+            row.append(f"{res.executor_time:.3f}")
+        rows.append(row)
+
+    print(render_table(
+        f"One program, five distributions — {SIDE}x{SIDE} Jacobi, P={P}, "
+        f"{SWEEPS} sweeps",
+        ["distribution", "elems/sweep", "analysis",
+         "NCUBE insp", "NCUBE exec", "iPSC insp", "iPSC exec"],
+        rows,
+    ))
+    print()
+    print("All five produced identical solutions; only the dist clause "
+          "changed.  Block minimises stencil traffic; cyclic ships nearly "
+          "every neighbour; block-cyclic interpolates.")
+
+
+if __name__ == "__main__":
+    main()

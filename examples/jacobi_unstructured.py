@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The paper's motivating workload: PDE relaxation on an unstructured mesh.
+
+The paper's evaluation ran Figure 4 on rectangular grids because "the
+optimal static domain decomposition is obvious"; its motivation, though,
+is *irregular* meshes, where the adjacency is data and the inspector is
+indispensable.  This example:
+
+1. builds a random Delaunay mesh (~6 neighbours/node, as §4 predicts),
+2. partitions it two ways — naive block by node id, and recursive
+   coordinate bisection producing a user-defined distribution,
+3. runs the same Jacobi program under both (one-argument change!),
+4. reports solution agreement, communication volume, and virtual times.
+
+Run:  python examples/jacobi_unstructured.py
+"""
+
+import numpy as np
+
+from repro.apps.jacobi import build_jacobi
+from repro.distributions import Block, Custom
+from repro.machine.cost import NCUBE7
+from repro.meshes.partition import coordinate_bisection, edge_cut, partition_imbalance
+from repro.meshes.regular import reference_sweep
+from repro.meshes.unstructured import average_degree, random_unstructured_mesh
+
+NODES = 4000
+P = 16
+SWEEPS = 25
+
+
+def main() -> None:
+    mesh, points = random_unstructured_mesh(NODES, seed=7, jitter=0.4)
+    print(f"mesh: {mesh.n} nodes, {mesh.total_references()} directed edges, "
+          f"average degree {average_degree(mesh):.2f} "
+          "(paper §4 predicts ~6 for 2-d unstructured grids)")
+
+    rng = np.random.default_rng(3)
+    init = rng.random(mesh.n)
+    ref = init.copy()
+    for _ in range(SWEEPS):
+        ref = reference_sweep(mesh, ref)
+
+    owners_rcb = coordinate_bisection(points, P)
+    print(f"RCB partition: imbalance {partition_imbalance(owners_rcb, P):.3f}, "
+          f"edge cut {edge_cut(mesh.adj, mesh.count, owners_rcb)}")
+    block_owners = (np.arange(mesh.n) * P) // mesh.n
+    print(f"block-by-id:  edge cut {edge_cut(mesh.adj, mesh.count, block_owners)}")
+    print()
+
+    for name, dist in [
+        ("block-by-node-id", Block()),
+        ("RCB user-defined", Custom(owners_rcb)),
+    ]:
+        prog = build_jacobi(mesh, P, machine=NCUBE7, dist=dist, initial=init)
+        res = prog.run(sweeps=SWEEPS)
+        assert np.allclose(prog.solution, ref), "solution must match oracle"
+        elems = res.engine.counter_sum("executor_elems_sent") // SWEEPS
+        print(f"[{name}]")
+        print(f"  strategy: {res.strategies()}")
+        print(f"  inspector {res.inspector_time:.3f}s  "
+              f"executor {res.executor_time:.3f}s  "
+              f"(overhead {100 * res.inspector_overhead:.1f}%)")
+        print(f"  elements communicated per sweep: {elems}")
+        print()
+
+    print("Both distributions give the oracle's answer; the dist clause is "
+          "the only thing that changed (paper §2.4).")
+
+
+if __name__ == "__main__":
+    main()

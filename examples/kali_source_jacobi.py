@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Figure 4, verbatim: compiling and running actual Kali source.
+
+This feeds the paper's nearest-neighbour relaxation program — in the
+Pascal-like Kali language itself — through the full pipeline: lexer,
+parser, semantic analysis, subscript analysis/lowering, and the
+inspector/executor runtime on the simulated NCUBE/7.
+
+Run:  python examples/kali_source_jacobi.py
+"""
+
+import numpy as np
+
+from repro.lang import compile_kali
+from repro.machine.cost import NCUBE7
+from repro.meshes.regular import five_point_grid, reference_sweep
+
+KALI_SOURCE = """
+processors Procs : array[1..P] with P in 1..n;
+
+const n : integer;          -- number of mesh nodes (supplied at run time)
+const width : integer;      -- max neighbours per node
+const nsweeps : integer;
+
+var a, old_a : array[1..n] of real dist by [ block ] on Procs;
+    count    : array[1..n] of integer dist by [ block ] on Procs;
+    adj      : array[1..n, 1..width] of integer dist by [ block, * ] on Procs;
+    coef     : array[1..n, 1..width] of real dist by [ block, * ] on Procs;
+var sweep : integer;
+
+for sweep in 1..nsweeps do
+    -- copy mesh values
+    forall i in 1..n on old_a[i].loc do
+        old_a[i] := a[i];
+    end;
+    -- perform relaxation (computational core)
+    forall i in 1..n on a[i].loc do
+        var x : real;
+        x := 0.0;
+        for j in 1..count[i] do
+            x := x + coef[i,j] * old_a[ adj[i,j] ];
+        end;
+        if (count[i] > 0) then a[i] := x; end;
+    end;
+end;
+
+print("relaxation finished after", nsweeps, "sweeps");
+print("a[1] =", a[1]);
+"""
+
+SIDE = 32
+P = 8
+SWEEPS = 20
+
+
+def main() -> None:
+    mesh = five_point_grid(SIDE, SIDE)
+    rng = np.random.default_rng(99)
+    init = rng.random(mesh.n)
+
+    program = compile_kali(KALI_SOURCE)
+    print(f"compiled: {len(program.program.decls)} declarations, "
+          f"{len(program.program.stmts)} top-level statements")
+
+    result = program.run(
+        nprocs=P,
+        machine=NCUBE7,
+        consts={"n": mesh.n, "width": mesh.width, "nsweeps": SWEEPS},
+        inputs={
+            "a": init,
+            "count": mesh.count,
+            "adj": mesh.adj + 1,  # Kali arrays are 1-based
+            "coef": mesh.coef,
+        },
+    )
+
+    ref = init.copy()
+    for _ in range(SWEEPS):
+        ref = reference_sweep(mesh, ref)
+    assert np.allclose(result.arrays["a"], ref), "must match sequential oracle"
+
+    print("program output:")
+    for line in result.output:
+        print("  |", line)
+    print()
+    print("solution matches the sequential oracle.")
+    print(f"analysis per loop: {result.timing.strategies()}")
+    print(f"inspector {result.timing.inspector_time:.3f}s "
+          f"(ran once, amortised over {SWEEPS} sweeps), "
+          f"executor {result.timing.executor_time:.3f}s on {NCUBE7.name}")
+    stats = result.timing.cache_stats()
+    print(f"schedule cache: {stats['hits']} hits, {stats['misses']} misses")
+
+
+if __name__ == "__main__":
+    main()

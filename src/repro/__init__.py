@@ -1,0 +1,56 @@
+"""repro — a reproduction of Kali (Koelbel, Mehrotra & Van Rosendale, PPoPP 1990).
+
+Kali provides a *global name space* for data-parallel programs on
+distributed-memory machines: the programmer declares processor arrays,
+distributes arrays across them, and writes ``forall`` loops against global
+indices; the system generates the message passing, either by compile-time
+set analysis or by the run-time inspector/executor strategy that is the
+paper's core contribution.
+
+Top-level convenience re-exports cover the common path::
+
+    from repro import (ProcessorArray, Block, DistributedArray,
+                       KaliContext, NCUBE7)
+
+See README.md for a tour and DESIGN.md for the architecture.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import KaliError
+from repro.machine import NCUBE7, IPSC2, IDEAL, Hypercube, MachineModel
+from repro.distributions import (
+    Block,
+    BlockCyclic,
+    Cyclic,
+    Custom,
+    Replicated,
+    ProcessorArray,
+    ArrayDistribution,
+)
+from repro.arrays import DistributedArray
+from repro.core import KaliContext, Forall, OnOwner, OnProcessor, AffineRead, IndirectRead
+
+__all__ = [
+    "__version__",
+    "KaliError",
+    "NCUBE7",
+    "IPSC2",
+    "IDEAL",
+    "Hypercube",
+    "MachineModel",
+    "Block",
+    "Cyclic",
+    "BlockCyclic",
+    "Custom",
+    "Replicated",
+    "ProcessorArray",
+    "ArrayDistribution",
+    "DistributedArray",
+    "KaliContext",
+    "Forall",
+    "OnOwner",
+    "OnProcessor",
+    "AffineRead",
+    "IndirectRead",
+]

@@ -1,0 +1,19 @@
+"""Compile-time subscript analysis (paper §3.2 and reference [3]).
+
+When subscripts are affine and distributions regular, the exec/ref/in/out
+sets have closed forms and "no set computations need be done at run-time".
+:mod:`repro.analysis.planner` decides per forall whether the closed-form
+path applies; :mod:`repro.analysis.closedform` builds the communication
+schedule symbolically (zero virtual-time charge, no inspector
+communication).
+"""
+
+from repro.analysis.planner import Strategy, choose_strategy, explain_strategy
+from repro.analysis.closedform import build_closed_form_schedule
+
+__all__ = [
+    "Strategy",
+    "choose_strategy",
+    "explain_strategy",
+    "build_closed_form_schedule",
+]

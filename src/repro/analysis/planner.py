@@ -1,0 +1,78 @@
+"""Choosing between compile-time and run-time analysis (paper §3.2).
+
+"In some cases we can analyze the program at compile-time and precompute
+the sets symbolically.  Such an analysis requires the subscripts and data
+distribution patterns to be of a form such that closed form expressions
+can be obtained for the communications sets."
+
+The conditions checked here are exactly those: every read subscript is
+affine, the ``on`` clause is an affine owner clause, and every referenced
+distribution admits a cheap strided-section description of ``local(p)``
+(block and cyclic always; block-cyclic while each processor owns few
+blocks; user-defined maps never).
+Anything else — in particular the data-dependent ``old_a[adj[i,j]]`` of
+the paper's relaxation kernel — falls back to the run-time inspector.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Tuple
+
+from repro.arrays.localview import LocalArray
+from repro.core.forall import AffineRead, Forall, IndirectRead, OnOwner
+
+
+class Strategy(enum.Enum):
+    COMPILE_TIME = "compile-time"
+    RUNTIME = "runtime"
+
+
+def _reasons_against_compile_time(
+    forall: Forall, env: Dict[str, LocalArray]
+) -> List[str]:
+    reasons: List[str] = []
+    if not isinstance(forall.on, OnOwner):
+        reasons.append("on clause does not name an owner array")
+    else:
+        target = env.get(forall.on.array)
+        if target is None:
+            reasons.append(f"on-clause array {forall.on.array!r} not in scope")
+        else:
+            if target.dist.procs.ndim != 1:
+                reasons.append("processor array is not one-dimensional")
+            dim0 = target.dist.dims[0]
+            if not dim0.supports_closed_form():
+                reasons.append(
+                    f"distribution of {forall.on.array!r} has no closed form"
+                )
+    for read in forall.reads:
+        if isinstance(read, IndirectRead):
+            reasons.append(
+                f"reference {read.operand_name()} is data-dependent "
+                "(indirection array)"
+            )
+            continue
+        arr = env.get(read.array)
+        if arr is None:
+            reasons.append(f"read array {read.array!r} not in scope")
+            continue
+        dim0 = arr.dist.dims[0]
+        if not dim0.supports_closed_form():
+            reasons.append(
+                f"distribution of {read.array!r} admits no (cheap) closed form"
+            )
+    return reasons
+
+
+def choose_strategy(forall: Forall, env: Dict[str, LocalArray]) -> Strategy:
+    """Pick the analysis strategy the compiler would emit for this loop."""
+    if _reasons_against_compile_time(forall, env):
+        return Strategy.RUNTIME
+    return Strategy.COMPILE_TIME
+
+
+def explain_strategy(forall: Forall, env: Dict[str, LocalArray]) -> Tuple[Strategy, List[str]]:
+    """Strategy plus the human-readable reasons for a runtime fallback."""
+    reasons = _reasons_against_compile_time(forall, env)
+    return (Strategy.RUNTIME if reasons else Strategy.COMPILE_TIME), reasons

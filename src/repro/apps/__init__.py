@@ -1,0 +1,13 @@
+"""Reference applications built on the public API."""
+
+from repro.apps.jacobi import JacobiProgram, build_jacobi
+from repro.apps.cg import CGResult, CGSolver, dense_matrix, laplacian_plus_identity
+
+__all__ = [
+    "JacobiProgram",
+    "build_jacobi",
+    "CGSolver",
+    "CGResult",
+    "dense_matrix",
+    "laplacian_plus_identity",
+]

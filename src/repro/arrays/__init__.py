@@ -1,0 +1,12 @@
+"""Distributed arrays: the global-name-space data type (paper §2.2, §2.4).
+
+A :class:`DistributedArray` is the single-object view of a partitioned
+array: the programmer indexes it globally, the runtime stores one local
+piece per rank.  :class:`LocalArray` is the rank-side piece with
+global-to-local translation.
+"""
+
+from repro.arrays.darray import DistributedArray
+from repro.arrays.localview import LocalArray
+
+__all__ = ["DistributedArray", "LocalArray"]

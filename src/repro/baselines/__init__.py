@@ -1,0 +1,15 @@
+"""Comparison baselines: hand-coded message passing, uncached runtime
+resolution, and Saltz-style enumerated schedules."""
+
+from repro.baselines.handcoded import HandCodedResult, handcoded_jacobi
+from repro.baselines.naive import amortization_ratio, build_uncached_jacobi
+from repro.baselines.enumerated import build_enumerated_jacobi, schedule_storage
+
+__all__ = [
+    "handcoded_jacobi",
+    "HandCodedResult",
+    "build_uncached_jacobi",
+    "amortization_ratio",
+    "build_enumerated_jacobi",
+    "schedule_storage",
+]

@@ -1,0 +1,47 @@
+"""Uncached run-time resolution: the Rogers & Pingali comparison (§5).
+
+"Rogers and Pingali suggest run-time resolution of communications ...
+They do not attempt to save information between executions of their
+parallel constructs ... Because the information is not saved, they label
+run-time resolution as 'fairly inefficient'."
+
+This baseline is Kali with the schedule cache disabled: the inspector
+re-runs before *every* forall execution.  It exists to quantify exactly
+how much the paper's saving of communication information buys (the A1
+ablation benchmark), and doubles as a stress test that the inspector is
+idempotent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.jacobi import JacobiProgram, build_jacobi
+from repro.distributions.base import DimDistribution
+from repro.machine.cost import MachineModel, NCUBE7
+from repro.meshes.regular import MeshArrays
+
+
+def build_uncached_jacobi(
+    mesh: MeshArrays,
+    nprocs: int,
+    machine: MachineModel = NCUBE7,
+    dist: Optional[DimDistribution] = None,
+    initial: Optional[np.ndarray] = None,
+) -> JacobiProgram:
+    """The Figure 4 program with schedule caching switched off."""
+    return build_jacobi(
+        mesh,
+        nprocs,
+        machine=machine,
+        dist=dist,
+        initial=initial,
+        cache_enabled=False,
+    )
+
+
+def amortization_ratio(cached_total: float, uncached_total: float) -> float:
+    """How many times slower uncached resolution is (>= 1 in practice)."""
+    return uncached_total / cached_total if cached_total else float("inf")

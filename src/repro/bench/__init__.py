@@ -1,0 +1,44 @@
+"""Benchmark harness: experiment drivers, paper reference data, tables.
+
+``python -m repro.bench`` regenerates every table of the paper's
+evaluation; the pytest-benchmark targets under ``benchmarks/`` wrap the
+same drivers.
+"""
+
+from repro.bench import calibration
+from repro.bench.experiments import (
+    ExperimentRow,
+    AblationRow,
+    caching_ablation,
+    distribution_ablation,
+    handcoded_ablation,
+    processor_scaling,
+    single_sweep_overhead,
+    size_scaling,
+    translation_ablation,
+)
+from repro.bench.tables import (
+    ablation_table,
+    dict_table,
+    overhead_table,
+    processor_table,
+    size_table,
+)
+
+__all__ = [
+    "calibration",
+    "ExperimentRow",
+    "AblationRow",
+    "processor_scaling",
+    "size_scaling",
+    "single_sweep_overhead",
+    "caching_ablation",
+    "translation_ablation",
+    "handcoded_ablation",
+    "distribution_ablation",
+    "processor_table",
+    "size_table",
+    "overhead_table",
+    "ablation_table",
+    "dict_table",
+]

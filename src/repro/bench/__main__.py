@@ -1,0 +1,116 @@
+"""Regenerate every table of the paper's evaluation: ``python -m repro.bench``.
+
+Options: ``--fast`` shrinks the largest meshes (64..256 instead of
+64..1024) for a quick smoke run; ``--full`` verifies by running all 100
+sweeps instead of extrapolating from 3.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import calibration as cal
+from repro.bench import (
+    caching_ablation,
+    distribution_ablation,
+    handcoded_ablation,
+    processor_scaling,
+    single_sweep_overhead,
+    size_scaling,
+    translation_ablation,
+    ablation_table,
+    dict_table,
+    overhead_table,
+    processor_table,
+    size_table,
+)
+from repro.machine.cost import IPSC2, NCUBE7
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fast", action="store_true", help="small meshes only")
+    ap.add_argument("--full", action="store_true",
+                    help="run all 100 sweeps (no extrapolation)")
+    args = ap.parse_args(argv)
+
+    measured = cal.PAPER_SWEEPS if args.full else None
+    sides = [64, 128, 256] if args.fast else cal.MESH_SIDES
+
+    t0 = time.time()
+
+    print(processor_table(
+        "E1  (paper Fig. 7)  NCUBE/7, 128x128 mesh, 100 sweeps",
+        processor_scaling(NCUBE7, cal.NCUBE_PROC_COUNTS,
+                          measured_sweeps=measured),
+        cal.PAPER_NCUBE_PROCS,
+    ))
+    print()
+    print(processor_table(
+        "E2  (paper Fig. 8)  iPSC/2, 128x128 mesh, 100 sweeps",
+        processor_scaling(IPSC2, cal.IPSC_PROC_COUNTS,
+                          measured_sweeps=measured),
+        cal.PAPER_IPSC_PROCS,
+    ))
+    print()
+    print(size_table(
+        "E3  (paper Fig. 9)  NCUBE/7, 128 processors, varying mesh",
+        size_scaling(NCUBE7, cal.NCUBE_SIZE_PROCS, mesh_sides=sides,
+                     measured_sweeps=measured),
+        cal.PAPER_NCUBE_SIZES,
+    ))
+    print()
+    print(size_table(
+        "E4  (paper Fig. 10)  iPSC/2, 32 processors, varying mesh",
+        size_scaling(IPSC2, cal.IPSC_SIZE_PROCS, mesh_sides=sides,
+                     measured_sweeps=measured),
+        cal.PAPER_IPSC_SIZES,
+    ))
+    print()
+    print(overhead_table(
+        "E5  (§4 text)  single-sweep inspector overhead, NCUBE/7 "
+        "(paper: 45%..93%)",
+        single_sweep_overhead(NCUBE7, cal.NCUBE_PROC_COUNTS),
+    ))
+    print()
+    print(overhead_table(
+        "E5  (§4 text)  single-sweep inspector overhead, iPSC/2 "
+        "(paper: 35%..41%)",
+        single_sweep_overhead(IPSC2, cal.IPSC_PROC_COUNTS),
+    ))
+    print()
+    print(ablation_table(
+        "A1  schedule caching vs re-inspection (Rogers & Pingali, §5), "
+        "NCUBE/7 P=16, 64x64",
+        caching_ablation(NCUBE7, 16, [1, 10, 100]),
+        ["cached_total", "uncached_total", "ratio"],
+        key_header="sweeps",
+    ))
+    print()
+    print(dict_table(
+        "A2  sorted ranges vs Saltz enumeration (§5), NCUBE/7 P=32, 128x128",
+        translation_ablation(NCUBE7, 32),
+    ))
+    print()
+    print(ablation_table(
+        "A3  Kali vs hand-coded message passing (§1), NCUBE/7 128x128",
+        handcoded_ablation(NCUBE7, [2, 8, 32, 128]),
+        ["kali_executor", "handcoded_executor", "kali_overhead"],
+        key_header="procs",
+    ))
+    print()
+    print(ablation_table(
+        "A4  distribution patterns, one-line change (§2.4), NCUBE/7 P=16, 64x64",
+        distribution_ablation(NCUBE7, 16),
+        ["total", "executor", "inspector", "remote_refs_per_sweep"],
+        key_header="dist",
+    ))
+    print()
+    print(f"[all tables regenerated in {time.time() - t0:.1f}s wall]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Rendering experiment rows in the paper's table format, with the
+paper's own numbers alongside for eyeball comparison."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.experiments import AblationRow, ExperimentRow
+from repro.util.fmt import render_table
+
+
+def processor_table(
+    title: str,
+    rows: List[ExperimentRow],
+    paper: Dict[int, Tuple[float, float, float]],
+) -> str:
+    headers = [
+        "procs", "total", "(paper)", "executor", "(paper)",
+        "inspector", "(paper)", "insp overhead",
+    ]
+    body = []
+    for r in rows:
+        pt, pe, pi = paper.get(r.key, (float("nan"),) * 3)
+        body.append([
+            r.key,
+            f"{r.total:.2f}", f"{pt:.2f}",
+            f"{r.executor:.2f}", f"{pe:.2f}",
+            f"{r.inspector:.2f}", f"{pi:.2f}",
+            f"{100 * r.overhead:.1f}%",
+        ])
+    return render_table(title, headers, body)
+
+
+def size_table(
+    title: str,
+    rows: List[ExperimentRow],
+    paper: Dict[int, Tuple[float, float, float, float]],
+) -> str:
+    headers = [
+        "mesh", "total", "(paper)", "executor", "(paper)",
+        "inspector", "(paper)", "overhead", "speedup", "(paper)",
+    ]
+    body = []
+    for r in rows:
+        pt, pe, pi, ps = paper.get(r.key, (float("nan"),) * 4)
+        body.append([
+            f"{r.key}x{r.key}",
+            f"{r.total:.2f}", f"{pt:.2f}",
+            f"{r.executor:.2f}", f"{pe:.2f}",
+            f"{r.inspector:.2f}", f"{pi:.2f}",
+            f"{100 * r.overhead:.1f}%",
+            f"{r.speedup:.1f}", f"{ps:.1f}",
+        ])
+    return render_table(title, headers, body)
+
+
+def overhead_table(title: str, rows: List[ExperimentRow]) -> str:
+    headers = ["procs", "total", "executor", "inspector", "insp overhead"]
+    body = [
+        [r.key, f"{r.total:.2f}", f"{r.executor:.2f}", f"{r.inspector:.2f}",
+         f"{100 * r.overhead:.1f}%"]
+        for r in rows
+    ]
+    return render_table(title, headers, body)
+
+
+def ablation_table(title: str, rows: List[AblationRow], columns: List[str],
+                   key_header: str = "config") -> str:
+    headers = [key_header] + columns
+    body = []
+    for r in rows:
+        cells = [r.key]
+        for c in columns:
+            v = r.values[c]
+            cells.append(f"{v:.3f}" if isinstance(v, float) else str(v))
+        body.append(cells)
+    return render_table(title, headers, body)
+
+
+def dict_table(title: str, values: Dict[str, float]) -> str:
+    return render_table(title, ["metric", "value"],
+                        [[k, f"{v:.4f}"] for k, v in values.items()])

@@ -1,0 +1,32 @@
+"""Message-passing library built on the SPMD engine.
+
+Point-to-point ops come from :mod:`repro.machine.api`; this package adds
+the collective operations (binomial-tree / recursive-doubling algorithms,
+as vendor libraries of the era provided) and Fox's *crystal router*, the
+all-to-all personalised exchange the paper's inspector uses to turn
+``in(p,q)`` sets into ``out(p,q)`` sets without bottlenecks (§3.3).
+"""
+
+from repro.comm.collectives import (
+    allgather,
+    allreduce,
+    alltoall,
+    barrier,
+    bcast,
+    gather,
+    reduce,
+    scan,
+)
+from repro.comm.crystal import crystal_route
+
+__all__ = [
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "allgather",
+    "alltoall",
+    "scan",
+    "crystal_route",
+]

@@ -1,0 +1,31 @@
+"""The Kali programming model: forall loops over a global name space.
+
+This package defines the Forall IR (loop range, ``on`` clause, read/write
+descriptors, vectorised kernel) shared by the embedded Python API and the
+Kali language front end, plus :class:`KaliContext`, the driver that
+scatters distributed arrays, launches the SPMD simulation, and gathers
+results and timing statistics.
+"""
+
+from repro.core.forall import (
+    AffineRead,
+    AffineWrite,
+    Forall,
+    IndirectOperand,
+    IndirectRead,
+    OnOwner,
+    OnProcessor,
+)
+from repro.core.context import KaliContext, KaliRank
+
+__all__ = [
+    "Forall",
+    "OnOwner",
+    "OnProcessor",
+    "AffineRead",
+    "IndirectRead",
+    "AffineWrite",
+    "IndirectOperand",
+    "KaliContext",
+    "KaliRank",
+]

@@ -1,0 +1,321 @@
+"""Driver and rank-side contexts: running Kali programs on the simulator.
+
+:class:`KaliContext` is the driver: declare a processor array and
+distributed arrays, then ``run`` an SPMD *program* — a generator function
+``def program(kr): ...`` that receives a :class:`KaliRank` and executes
+forall loops with ``yield from kr.forall(loop)``::
+
+    ctx = KaliContext(nprocs=8, machine=NCUBE7)
+    a = ctx.array("a", n, dist=[Block()])
+    ...
+    def program(kr):
+        for sweep in range(100):
+            yield from kr.forall(relax)
+    result = ctx.run(program)
+    print(result.inspector_time, result.executor_time)
+
+:class:`KaliRank` is the rank-side face of the runtime: it holds the local
+pieces of every distributed array, the schedule cache, and the analysis
+dispatcher that picks compile-time or run-time analysis per forall
+(paper §3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.closedform import build_closed_form_schedule
+from repro.analysis.planner import Strategy, choose_strategy
+from repro.arrays.darray import DistributedArray
+from repro.arrays.localview import LocalArray
+from repro.comm import collectives
+from repro.core.forall import Forall
+from repro.distributions.base import DimDistribution
+from repro.distributions.procs import ProcessorArray
+from repro.errors import ForallError, KaliError
+from repro.machine.api import Compute, Rank
+from repro.machine.cost import MachineModel, NCUBE7
+from repro.machine.engine import Engine
+from repro.machine.stats import RunResult
+from repro.machine.topology import FullyConnected, Hypercube, Topology
+from repro.runtime.cache import ScheduleCache
+from repro.runtime.executor import run_executor
+from repro.runtime.inspector import run_inspector
+from repro.runtime.redistribute import redistribute as _redistribute
+from repro.util.gray import is_power_of_two
+
+
+class KaliRank:
+    """Rank-side runtime handed to Kali programs.
+
+    Provides the forall dispatcher plus thin wrappers over the collectives
+    for the scalar reductions sequential program sections need (e.g. the
+    convergence test of the paper's Figure 4 ``while`` loop).
+    """
+
+    def __init__(
+        self,
+        rank: Rank,
+        env: Dict[str, LocalArray],
+        cache_enabled: bool = True,
+        force_strategy: Optional[Strategy] = None,
+        translation: str = "ranges",
+        combine_messages: bool = True,
+    ):
+        if translation not in ("ranges", "enumerated"):
+            raise KaliError(f"unknown translation kind {translation!r}")
+        self.combine_messages = combine_messages
+        self.rank = rank
+        self.env = env
+        self.cache = ScheduleCache(enabled=cache_enabled)
+        self.force_strategy = force_strategy
+        self.translation = translation
+        self._tag_seq = 0
+        self._coll_seq = 0
+        self.strategies_used: Dict[str, str] = {}
+
+    # --- identity ---------------------------------------------------------
+
+    @property
+    def id(self) -> int:
+        return self.rank.id
+
+    @property
+    def size(self) -> int:
+        return self.rank.size
+
+    def local(self, name: str) -> LocalArray:
+        """This rank's piece of a distributed array."""
+        try:
+            return self.env[name]
+        except KeyError:
+            raise KaliError(f"no distributed array named {name!r}") from None
+
+    # --- the forall dispatcher ---------------------------------------------
+
+    def forall(self, loop: Forall) -> Generator:
+        """Execute one forall (collective: all ranks must call this).
+
+        First execution analyses the loop — symbolically when possible,
+        otherwise with the run-time inspector — and caches the schedule;
+        subsequent executions reuse it while the indirection data is
+        unchanged.  Returns ``{name: value}`` for the loop's reductions
+        (None when it has none).
+        """
+        schedule = self.cache.lookup(loop, self.env)
+        if schedule is None:
+            strategy = self.force_strategy or choose_strategy(loop, self.env)
+            if strategy is Strategy.COMPILE_TIME:
+                schedule = build_closed_form_schedule(self.rank, loop, self.env)
+            else:
+                schedule = yield from run_inspector(self.rank, loop, self.env)
+            if self.translation == "enumerated":
+                schedule.enumerate_translations()
+            self.cache.store(loop, schedule)
+            self.strategies_used[loop.label] = schedule.built_by
+        n_arrays = max(1, len({r.array for r in loop.reads}))
+        tag_base = self._tag_seq
+        self._tag_seq = (self._tag_seq + n_arrays) % (1 << 18)
+        result = yield from run_executor(
+            self.rank, loop, self.env, schedule, tag_base,
+            combine_messages=self.combine_messages,
+        )
+        return result
+
+    def redistribute(self, name: str, new_spec) -> Generator:
+        """Move a distributed array to a new distribution (collective).
+
+        The all-to-all data motion is charged to the cost model; every
+        cached schedule referencing the array is invalidated (its
+        ``dist_version`` changes).  Foralls and global reads afterwards
+        see the new layout transparently — the paper's §6 "dynamic load
+        balancing" future work, expressible because nothing outside the
+        dist clause ever named the layout.
+        """
+        self._tag_seq = (self._tag_seq + 1) % (1 << 18)
+        new_local = yield from _redistribute(
+            self.rank, self.env[name], new_spec, tag=self._tag_seq
+        )
+        self.env[name] = new_local
+
+    # --- scalar collectives for sequential sections -----------------------------
+
+    def _next_coll_tag(self) -> int:
+        self._coll_seq = (self._coll_seq + 1) % (1 << 10)
+        return self._coll_seq
+
+    def allreduce(self, value, op: Callable = None, phase: str = "reduction"):
+        """Global reduction of a replicated scalar (default: sum)."""
+        import operator
+
+        op = op or operator.add
+        result = yield from collectives.allreduce(
+            self.rank, value, op, tag=self._next_coll_tag(), phase=phase
+        )
+        return result
+
+    def max_all(self, value, phase: str = "reduction"):
+        result = yield from collectives.allreduce(
+            self.rank, value, max, tag=self._next_coll_tag(), phase=phase
+        )
+        return result
+
+    def barrier(self, phase: str = "barrier"):
+        yield from collectives.barrier(self.rank, tag=self._next_coll_tag(), phase=phase)
+
+    def compute(self, seconds: float, phase: str = "compute"):
+        """Charge sequential local work to the virtual clock."""
+        yield Compute(seconds, phase=phase)
+
+    def now(self):
+        """This rank's current virtual clock (for phase timing in programs)."""
+        from repro.machine.api import Now
+
+        t = yield Now()
+        return t
+
+
+class KaliRunResult:
+    """Run outcome: engine statistics plus Kali-level accounting.
+
+    ``inspector_time`` / ``executor_time`` follow the paper's reporting:
+    the parallel (max-over-ranks) virtual time of each phase, with
+    ``total_time`` their sum plus any other phases the program charged.
+    """
+
+    def __init__(self, engine_result: RunResult, kranks: List[KaliRank]):
+        self.engine = engine_result
+        self.kranks = kranks
+
+    @property
+    def inspector_time(self) -> float:
+        return self.engine.phase_max("inspector")
+
+    @property
+    def executor_time(self) -> float:
+        return self.engine.phase_max("executor")
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.engine.phase_max(p) for p in self.engine.phases())
+
+    @property
+    def inspector_overhead(self) -> float:
+        """Inspector time as a fraction of total time (the paper's metric)."""
+        t = self.total_time
+        return self.inspector_time / t if t else 0.0
+
+    @property
+    def makespan(self) -> float:
+        return self.engine.makespan
+
+    def cache_stats(self) -> Dict[str, int]:
+        return {
+            "hits": sum(k.cache.hits for k in self.kranks),
+            "misses": sum(k.cache.misses for k in self.kranks),
+            "invalidations": sum(k.cache.invalidations for k in self.kranks),
+        }
+
+    def strategies(self) -> Dict[str, str]:
+        return dict(self.kranks[0].strategies_used) if self.kranks else {}
+
+    def summary(self) -> str:
+        lines = [
+            f"total={self.total_time:.4f}s executor={self.executor_time:.4f}s "
+            f"inspector={self.inspector_time:.4f}s "
+            f"(overhead {100 * self.inspector_overhead:.2f}%)",
+            self.engine.summary(),
+        ]
+        return "\n".join(lines)
+
+
+class KaliContext:
+    """Driver: declare arrays, run SPMD Kali programs, collect results."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        machine: MachineModel = NCUBE7,
+        topology: Optional[Topology] = None,
+        procs: Optional[ProcessorArray] = None,
+        cache_enabled: bool = True,
+        force_strategy: Optional[Strategy] = None,
+        translation: str = "ranges",
+        combine_messages: bool = True,
+    ):
+        self.procs = procs or ProcessorArray(nprocs)
+        if self.procs.size != nprocs:
+            raise KaliError(
+                f"processor array of {self.procs.size} != nprocs {nprocs}"
+            )
+        self.machine = machine
+        if topology is None:
+            topology = (
+                Hypercube(nprocs) if is_power_of_two(nprocs) else FullyConnected(nprocs)
+            )
+        self.topology = topology
+        self.cache_enabled = cache_enabled
+        self.force_strategy = force_strategy
+        self.translation = translation
+        self.combine_messages = combine_messages
+        self.arrays: Dict[str, DistributedArray] = {}
+
+    # --- declarations ------------------------------------------------------
+
+    def array(
+        self,
+        name: str,
+        shape,
+        dist: Sequence[DimDistribution],
+        dtype=np.float64,
+    ) -> DistributedArray:
+        """Declare a distributed array (``var name : array[...] dist by [...]``)."""
+        if name in self.arrays:
+            raise KaliError(f"array {name!r} already declared")
+        darr = DistributedArray(name, shape, dist, self.procs, dtype=dtype)
+        self.arrays[name] = darr
+        return darr
+
+    # --- execution ------------------------------------------------------------
+
+    def run(self, program: Callable[[KaliRank], Generator]) -> KaliRunResult:
+        """Scatter arrays, run ``program`` on every rank, gather results.
+
+        The program is a generator function over a :class:`KaliRank`; its
+        foralls and collectives advance virtual time on the simulated
+        machine.  Distributed array contents are scattered before the run
+        and gathered back afterwards, so driver-side code sees the updated
+        global arrays.
+        """
+        kranks: List[Optional[KaliRank]] = [None] * self.procs.size
+
+        def rank_main(rank: Rank):
+            env = {name: darr.scatter(rank.id) for name, darr in self.arrays.items()}
+            kr = KaliRank(
+                rank,
+                env,
+                cache_enabled=self.cache_enabled,
+                force_strategy=self.force_strategy,
+                translation=self.translation,
+                combine_messages=self.combine_messages,
+            )
+            kranks[rank.id] = kr
+            gen = program(kr)
+            if gen is None or not hasattr(gen, "send"):
+                raise KaliError(
+                    "Kali programs must be generator functions (use 'yield "
+                    "from kr.forall(...)')"
+                )
+            result = yield from gen
+            return result
+
+        engine = Engine(self.machine, topology=self.topology, nranks=self.procs.size)
+        engine_result = engine.run(rank_main)
+
+        # Gather per-rank pieces back into the driver-side global arrays.
+        for name, darr in self.arrays.items():
+            darr.gather_from([kr.env[name] for kr in kranks])
+
+        return KaliRunResult(engine_result, kranks)  # type: ignore[arg-type]

@@ -1,0 +1,32 @@
+"""Data-distribution machinery (paper §2.1-§2.2).
+
+A *processor array* arranges P processes into a (possibly
+multi-dimensional) grid; a *distribution* maps each dimension of a data
+array onto a dimension of the processor array.  Mathematically each
+distribution defines the paper's ``local : Proc -> 2^Arr`` function, with
+the disjointness property ``local(p) ∩ local(q) = ∅`` for ``p ≠ q``.
+
+Supported per-dimension patterns (paper §2.2): ``block``, ``cyclic``,
+``block_cyclic(b)``, ``*`` (replicated / not distributed), and
+user-defined maps.
+"""
+
+from repro.distributions.procs import ProcessorArray
+from repro.distributions.base import DimDistribution
+from repro.distributions.block import Block
+from repro.distributions.cyclic import Cyclic
+from repro.distributions.block_cyclic import BlockCyclic
+from repro.distributions.replicated import Replicated
+from repro.distributions.custom import Custom
+from repro.distributions.multidim import ArrayDistribution
+
+__all__ = [
+    "ProcessorArray",
+    "DimDistribution",
+    "Block",
+    "Cyclic",
+    "BlockCyclic",
+    "Replicated",
+    "Custom",
+    "ArrayDistribution",
+]

@@ -1,0 +1,94 @@
+"""User-defined distributions (paper §2.2: "provides a mechanism for
+user-defined distributions").
+
+A :class:`Custom` distribution is given the full owner map explicitly —
+one processor id per global index — e.g. the output of a mesh partitioner
+(see :mod:`repro.meshes.partition`).  Local storage packs a processor's
+elements in ascending global order; translation uses ``searchsorted`` on
+the per-processor sorted index list, the NumPy analogue of the paper's
+binary-search translation tables.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.distributions.base import DimDistribution, IndexLike
+from repro.errors import DistributionError
+from repro.util.intsets import IntervalSet
+from repro.util.sections import Section
+
+
+class Custom(DimDistribution):
+    kind = "custom"
+
+    def __init__(self, owner_map: Sequence[int]):
+        super().__init__()
+        self._map = np.asarray(owner_map, dtype=np.int64)
+        if self._map.ndim != 1:
+            raise DistributionError("owner_map must be one-dimensional")
+        self._locals = None  # per-proc sorted global indices, built on bind
+
+    def _clone(self) -> "Custom":
+        return Custom(self._map)
+
+    def _layout_params(self) -> tuple:
+        return (self._map.tobytes(),)
+
+    def _validate(self) -> None:
+        if self.extent != self._map.size:
+            raise DistributionError(
+                f"owner_map has {self._map.size} entries but dimension extent "
+                f"is {self.extent}"
+            )
+        if self._map.size and (
+            (self._map < 0).any() or (self._map >= self.nprocs).any()
+        ):
+            raise DistributionError("owner_map names a processor outside the grid")
+        self._locals = [
+            np.nonzero(self._map == p)[0].astype(np.int64) for p in range(self.nprocs)
+        ]
+
+    def owner(self, index: IndexLike) -> IndexLike:
+        self._require_bound()
+        arr = self._check_index(index)
+        own = self._map[arr]
+        return own if isinstance(index, np.ndarray) else int(own)
+
+    def to_local(self, index: IndexLike) -> IndexLike:
+        self._require_bound()
+        arr = np.asarray(self._check_index(index))
+        owners = self._map[arr]
+        if arr.ndim == 0:
+            return int(np.searchsorted(self._locals[int(owners)], arr))
+        out = np.empty(arr.shape, dtype=np.int64)
+        for p in np.unique(owners):
+            mask = owners == p
+            out[mask] = np.searchsorted(self._locals[int(p)], arr[mask])
+        return out
+
+    def to_global(self, proc: int, offset: IndexLike) -> IndexLike:
+        self._require_bound()
+        mine = self._locals[proc]
+        out = mine[np.asarray(offset)]
+        return out if isinstance(offset, np.ndarray) else int(out)
+
+    def local_count(self, proc: int) -> int:
+        self._require_bound()
+        return int(self._locals[proc].size)
+
+    def local_indices(self, proc: int) -> np.ndarray:
+        self._require_bound()
+        return self._locals[proc]
+
+    def local_set(self, proc: int) -> IntervalSet:
+        self._require_bound()
+        return IntervalSet.from_indices(self._locals[proc])
+
+    def local_section(self, proc: int) -> Optional[Section]:
+        return None
+
+    def is_regular(self) -> bool:
+        return False

@@ -1,0 +1,68 @@
+"""Cyclic distribution (paper §2.2).
+
+Deals elements round-robin::
+
+    local_B(p) = { i : i ≡ p (mod P) }
+
+(the paper's example: with P = 10, processor 0 stores rows 0, 10, 20, …
+in 0-based terms).  Local storage is packed: global ``i`` lives at local
+offset ``i // P`` on processor ``i % P``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.distributions.base import DimDistribution, IndexLike
+from repro.util.intsets import IntervalSet
+from repro.util.sections import Section
+
+
+class Cyclic(DimDistribution):
+    kind = "cyclic"
+
+    def _clone(self) -> "Cyclic":
+        return Cyclic()
+
+    def owner(self, index: IndexLike) -> IndexLike:
+        self._require_bound()
+        arr = self._check_index(index)
+        own = arr % self.nprocs
+        return own if isinstance(index, np.ndarray) else int(own)
+
+    def to_local(self, index: IndexLike) -> IndexLike:
+        self._require_bound()
+        arr = self._check_index(index)
+        loc = arr // self.nprocs
+        return loc if isinstance(index, np.ndarray) else int(loc)
+
+    def to_global(self, proc: int, offset: IndexLike) -> IndexLike:
+        self._require_bound()
+        out = np.asarray(offset) * self.nprocs + proc
+        return out if isinstance(offset, np.ndarray) else int(out)
+
+    def local_count(self, proc: int) -> int:
+        self._require_bound()
+        full, rem = divmod(self.extent, self.nprocs)
+        return full + (1 if proc < rem else 0)
+
+    def local_indices(self, proc: int) -> np.ndarray:
+        self._require_bound()
+        return np.arange(proc, self.extent, self.nprocs, dtype=np.int64)
+
+    def local_set(self, proc: int) -> IntervalSet:
+        return self.local_section(proc).to_interval_set()
+
+    def local_section(self, proc: int) -> Optional[Section]:
+        self._require_bound()
+        if proc >= self.extent:
+            return Section.empty()
+        return Section(proc, self.extent - 1, self.nprocs)
+
+    def is_regular(self) -> bool:
+        return True
+
+    def has_section_form(self) -> bool:
+        return True

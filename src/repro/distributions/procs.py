@@ -1,0 +1,122 @@
+"""Processor arrays — the paper's "real estate agent" (§2.1).
+
+A :class:`ProcessorArray` declares a grid of physical processors on which
+data arrays are distributed and forall loops execute, mirroring::
+
+    processors Procs : array [1..P] with P in 1..max_procs;
+
+The size may be given exactly, or as a range from which the runtime picks
+the largest feasible value (the paper's implementation "chooses the
+largest feasible P"), bounded by the physical machine size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DistributionError
+
+
+class ProcessorArray:
+    """A (multi-dimensional) grid view of ranks ``0 .. P-1``.
+
+    ``shape`` gives the grid extents; the linearisation is row-major, so
+    grid coordinate ``(i, j)`` is rank ``i * shape[1] + j``.
+    """
+
+    def __init__(self, shape: Sequence[int]):
+        if isinstance(shape, int):
+            shape = (shape,)
+        shape = tuple(int(s) for s in shape)
+        if not shape or any(s < 1 for s in shape):
+            raise DistributionError(f"bad processor array shape {shape}")
+        self.shape: Tuple[int, ...] = shape
+        self.size = int(np.prod(shape))
+
+    # --- the "real estate agent" ------------------------------------------
+
+    @classmethod
+    def request(
+        cls,
+        available: int,
+        min_procs: int = 1,
+        max_procs: Optional[int] = None,
+        ndim: int = 1,
+    ) -> "ProcessorArray":
+        """Choose the largest feasible processor array.
+
+        Mirrors ``with P in min..max``: picks the largest ``P`` with
+        ``min_procs <= P <= min(max_procs, available)``.  For ``ndim > 1``
+        the grid is made as square as possible (factors of P closest to
+        its ``ndim``-th root).  Raises when even ``min_procs`` don't fit —
+        the declaration the paper notes "avoids dead-lock in case fewer
+        processors are available than expected".
+        """
+        limit = available if max_procs is None else min(available, max_procs)
+        if limit < min_procs:
+            raise DistributionError(
+                f"need at least {min_procs} processors, only {available} available"
+            )
+        p = limit
+        if ndim == 1:
+            return cls((p,))
+        if ndim == 2:
+            best = (1, p)
+            r = int(np.sqrt(p))
+            for a in range(r, 0, -1):
+                if p % a == 0:
+                    best = (a, p // a)
+                    break
+            return cls(best)
+        raise DistributionError(f"unsupported processor array rank {ndim}")
+
+    # --- coordinate mapping ---------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def rank_of(self, coords: Sequence[int]) -> int:
+        coords = tuple(int(c) for c in coords)
+        if len(coords) != self.ndim:
+            raise DistributionError(
+                f"expected {self.ndim} coordinates, got {len(coords)}"
+            )
+        rank = 0
+        for c, extent in zip(coords, self.shape):
+            if not (0 <= c < extent):
+                raise DistributionError(f"coordinate {coords} outside grid {self.shape}")
+            rank = rank * extent + c
+        return rank
+
+    def coords_of(self, rank: int) -> Tuple[int, ...]:
+        if not (0 <= rank < self.size):
+            raise DistributionError(f"rank {rank} outside processor array of {self.size}")
+        coords = []
+        for extent in reversed(self.shape):
+            coords.append(rank % extent)
+            rank //= extent
+        return tuple(reversed(coords))
+
+    def extent(self, dim: int) -> int:
+        return self.shape[dim]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.size))
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProcessorArray):
+            return NotImplemented
+        return self.shape == other.shape
+
+    def __hash__(self) -> int:
+        return hash(self.shape)
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(s) for s in self.shape)
+        return f"ProcessorArray({dims})"

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the Kali reproduction.
+
+All library-raised exceptions derive from :class:`KaliError` so callers can
+catch everything from this package with a single ``except`` clause.  The
+subclasses mirror the major subsystems: language front end, distribution
+machinery, the SPMD simulation engine, and the inspector/executor runtime.
+"""
+
+from __future__ import annotations
+
+
+class KaliError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class DistributionError(KaliError):
+    """Invalid distribution specification or out-of-range index mapping."""
+
+
+class TopologyError(KaliError):
+    """Invalid machine topology (e.g. non-power-of-two hypercube)."""
+
+
+class EngineError(KaliError):
+    """SPMD engine failure (bad op sequence, unknown rank, etc.)."""
+
+
+class DeadlockError(EngineError):
+    """Every live rank is blocked on a receive that can never be satisfied."""
+
+    def __init__(self, blocked: dict):
+        self.blocked = dict(blocked)
+        detail = ", ".join(
+            f"rank {r} waiting on (src={w[0]}, tag={w[1]})" for r, w in sorted(blocked.items())
+        )
+        super().__init__(f"SPMD deadlock: {detail}")
+
+
+class CommunicationError(EngineError):
+    """Malformed message operation (bad rank, negative size, tag misuse)."""
+
+
+class AnalysisError(KaliError):
+    """Subscript/distribution combination not handled by compile-time analysis."""
+
+
+class InspectorError(KaliError):
+    """Run-time analysis failure (reference outside the array, bad schedule)."""
+
+
+class ForallError(KaliError):
+    """Ill-formed forall specification."""
+
+
+# --- language front end -----------------------------------------------------
+
+
+class KaliSyntaxError(KaliError):
+    """Lexical or syntactic error in Kali source code."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class KaliSemanticError(KaliError):
+    """Semantic error (undeclared name, type mismatch, bad dist clause)."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        if line:
+            message = f"{message} (line {line})"
+        super().__init__(message)
+
+
+class KaliRuntimeError(KaliError):
+    """Error raised while interpreting a Kali program."""

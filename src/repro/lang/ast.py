@@ -1,0 +1,291 @@
+"""Abstract syntax tree for the Kali subset.
+
+Every node carries its source ``line`` for diagnostics.  The tree is
+deliberately close to the paper's concrete syntax: declarations mirror
+Figure 1's ``processors``/``var … dist by [...] on`` forms, statements
+mirror Figure 4's ``while``/``forall``/``for``/``if`` nesting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+class Node:
+    line: int = 0
+
+
+# --- expressions ------------------------------------------------------------
+
+
+@dataclass
+class NumLit(Node):
+    value: Union[int, float]
+    line: int = 0
+
+    @property
+    def is_real(self) -> bool:
+        return isinstance(self.value, float)
+
+
+@dataclass
+class BoolLit(Node):
+    value: bool
+    line: int = 0
+
+
+@dataclass
+class StrLit(Node):
+    value: str
+    line: int = 0
+
+
+@dataclass
+class Name(Node):
+    ident: str
+    line: int = 0
+
+
+@dataclass
+class Index(Node):
+    """``base[sub1, sub2, …]`` — array element or row reference."""
+
+    base: str
+    subs: List["Expr"]
+    line: int = 0
+
+
+@dataclass
+class BinOp(Node):
+    op: str  # + - * / div mod = <> < <= > >= and or
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+@dataclass
+class UnOp(Node):
+    op: str  # - not
+    operand: "Expr"
+    line: int = 0
+
+
+@dataclass
+class Call(Node):
+    """Built-in function call (abs, min, max, float, trunc)."""
+
+    func: str
+    args: List["Expr"]
+    line: int = 0
+
+
+Expr = Union[NumLit, BoolLit, StrLit, Name, Index, BinOp, UnOp, Call]
+
+
+# --- types and declarations ----------------------------------------------------
+
+
+@dataclass
+class ScalarType(Node):
+    kind: str  # "real" | "integer" | "boolean"
+    line: int = 0
+
+
+@dataclass
+class DistPattern(Node):
+    """One entry of a ``dist by [...]`` clause."""
+
+    kind: str  # "block" | "cyclic" | "block_cyclic" | "*"
+    param: Optional[Expr] = None  # block size for block_cyclic
+    line: int = 0
+
+
+@dataclass
+class ArrayType(Node):
+    """``array [lo1..hi1, …] of elem [dist by [...] on Procs]``."""
+
+    ranges: List[Tuple[Expr, Expr]]
+    elem: ScalarType
+    dist: Optional[List[DistPattern]] = None
+    on_procs: Optional[str] = None
+    line: int = 0
+
+
+TypeNode = Union[ScalarType, ArrayType]
+
+
+@dataclass
+class ProcessorsDecl(Node):
+    """``processors Procs : array [1..P] with P in 1..max;``
+
+    When the ``with`` clause is present, ``size_var`` names the symbolic
+    extent chosen by the runtime inside [min_expr, max_expr]; otherwise
+    the extent is the fixed ``ranges`` bound.
+    """
+
+    name: str
+    lo: Expr = None
+    hi: Expr = None
+    size_var: Optional[str] = None
+    min_expr: Optional[Expr] = None
+    max_expr: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class VarDecl(Node):
+    names: List[str]
+    type: TypeNode
+    line: int = 0
+
+
+@dataclass
+class ConstDecl(Node):
+    name: str
+    type: Optional[ScalarType]
+    value: Optional[Expr]
+    line: int = 0
+
+
+Decl = Union[ProcessorsDecl, VarDecl, ConstDecl]
+
+
+# --- statements -----------------------------------------------------------------
+
+
+@dataclass
+class Assign(Node):
+    target: Union[Name, Index]
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class IfStmt(Node):
+    cond: Expr
+    then_body: List["Stmt"]
+    else_body: List["Stmt"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class WhileStmt(Node):
+    cond: Expr
+    body: List["Stmt"]
+    line: int = 0
+
+
+@dataclass
+class ForStmt(Node):
+    var: str
+    lo: Expr = None
+    hi: Expr = None
+    body: List["Stmt"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class ForallStmt(Node):
+    """``forall i in lo..hi on A[e].loc do [var decls] body end;``
+
+    ``on_array`` / ``on_sub`` capture the owner clause; ``on_array`` may
+    instead name the processor array directly (``on Procs[e]``), flagged
+    by ``direct``.
+    """
+
+    var: str
+    lo: Expr = None
+    hi: Expr = None
+    on_array: str = ""
+    on_sub: Expr = None
+    direct: bool = False
+    local_decls: List[VarDecl] = field(default_factory=list)
+    body: List["Stmt"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class PrintStmt(Node):
+    args: List[Expr]
+    line: int = 0
+
+
+@dataclass
+class RedistributeStmt(Node):
+    """``redistribute A by [ pattern, ... ];`` — change an array's
+    distribution at run time (dynamic load balancing, paper §6)."""
+
+    array: str
+    patterns: List[DistPattern] = field(default_factory=list)
+    line: int = 0
+
+
+Stmt = Union[Assign, IfStmt, WhileStmt, ForStmt, ForallStmt, PrintStmt,
+             RedistributeStmt]
+
+
+@dataclass
+class Program(Node):
+    decls: List[Decl]
+    stmts: List[Stmt]
+    line: int = 0
+
+
+def match_reduction(stmt: "Assign"):
+    """Recognise scalar-reduction assignments inside foralls.
+
+    Supported shapes (x a global scalar, e any expression not reading x)::
+
+        x := x + e;          -- sum reduction
+        x := e + x;
+        x := max(x, e);      -- max reduction (likewise min)
+        x := min(e, x);
+
+    Returns ``(var, op, contribution_expr)`` or None.
+    """
+    if not isinstance(stmt.target, Name):
+        return None
+    var = stmt.target.ident
+    v = stmt.value
+    if isinstance(v, BinOp) and v.op == "+":
+        if isinstance(v.left, Name) and v.left.ident == var:
+            return (var, "sum", v.right)
+        if isinstance(v.right, Name) and v.right.ident == var:
+            return (var, "sum", v.left)
+    if isinstance(v, Call) and v.func in ("max", "min") and len(v.args) == 2:
+        a, b = v.args
+        if isinstance(a, Name) and a.ident == var:
+            return (var, v.func, b)
+        if isinstance(b, Name) and b.ident == var:
+            return (var, v.func, a)
+    return None
+
+
+def walk_exprs(expr: Expr):
+    """Depth-first iterator over an expression tree."""
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from walk_exprs(expr.left)
+        yield from walk_exprs(expr.right)
+    elif isinstance(expr, UnOp):
+        yield from walk_exprs(expr.operand)
+    elif isinstance(expr, Index):
+        for s in expr.subs:
+            yield from walk_exprs(s)
+    elif isinstance(expr, Call):
+        for a in expr.args:
+            yield from walk_exprs(a)
+
+
+def walk_stmts(stmts: List[Stmt]):
+    """Depth-first iterator over statements (including nested bodies)."""
+    for s in stmts:
+        yield s
+        if isinstance(s, IfStmt):
+            yield from walk_stmts(s.then_body)
+            yield from walk_stmts(s.else_body)
+        elif isinstance(s, (WhileStmt, ForStmt)):
+            yield from walk_stmts(s.body)
+        elif isinstance(s, ForallStmt):
+            yield from walk_stmts(s.body)

@@ -1,0 +1,829 @@
+"""Lowering Kali ``forall`` statements to the Forall IR.
+
+This is the compiler's centre: it performs the subscript analysis of
+paper §3.1, classifying every array reference in the loop body as
+
+* **affine** — ``A[a*i + b]`` (and aligned 2-d rows ``A[i, e]``), handled
+  by :class:`~repro.core.forall.AffineRead` and eligible for closed-form
+  analysis,
+* **indirect** — ``A[T[i, j]]`` through an aligned indirection table,
+  handled by :class:`~repro.core.forall.IndirectRead` and requiring the
+  run-time inspector,
+* **replicated** — references to non-distributed arrays, read directly
+  from the rank's full copy,
+
+and synthesises a *vectorised kernel*: a closure evaluating the loop body
+over a whole batch of iterations with NumPy — inner ``for`` loops become
+masked column sweeps, ``if`` statements become masked merges.
+
+Index origins
+-------------
+Kali subscripts are relative to declared lower bounds (``array[1..n]``);
+the runtime is 0-based.  The lowered IR iterates over a shifted domain
+``u = i - delta``: ``delta`` is chosen so that ``u`` coincides with the
+0-based row index of every indirection table and count array (the runtime
+feeds the iteration value directly to ``table.get_rows``), and all affine
+subscript maps absorb both ``delta`` and the array lower bounds.  The
+kernel converts back (``i = u + delta``) so body expressions see Kali's
+own index values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.forall import (
+    Affine,
+    AffineRead,
+    AffineWrite,
+    Forall,
+    IndirectOperand,
+    IndirectRead,
+    OnOwner,
+    OnProcessor,
+    ReduceSpec,
+)
+from repro.errors import KaliSemanticError
+from repro.lang import ast
+from repro.lang.sema import SymbolTable
+
+ARITH_OPS = {"+", "-", "*", "/", "div", "mod"}
+
+
+@dataclass
+class ArrayInfo:
+    """Instantiated metadata the lowerer needs about one array."""
+
+    name: str
+    lower_bounds: Tuple[int, ...]
+    extents: Tuple[int, ...]
+    distributed: bool
+    elem: str
+
+
+# --- affine extraction -------------------------------------------------------
+
+
+def affine_of(expr: ast.Expr, var: str, scalars: Dict[str, object]) -> Optional[Tuple[int, int]]:
+    """``expr`` as ``a*var + b`` with integer a, b — or None.
+
+    Scalar names fold to their current (replicated) values; this is sound
+    because they are loop-invariant for one forall execution (paper §3.1:
+    the g_k "may depend on other program variables, so long as those
+    variables are invariant during the execution of the forall loop").
+    """
+    if isinstance(expr, ast.NumLit):
+        v = expr.value
+        if isinstance(v, float):
+            if not v.is_integer():
+                return None
+            v = int(v)
+        return (0, int(v))
+    if isinstance(expr, ast.Name):
+        if expr.ident == var:
+            return (1, 0)
+        if expr.ident in scalars:
+            v = scalars[expr.ident]
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                return None
+            if isinstance(v, float):
+                if not v.is_integer():
+                    return None
+                v = int(v)
+            return (0, int(v))
+        return None
+    if isinstance(expr, ast.UnOp) and expr.op == "-":
+        inner = affine_of(expr.operand, var, scalars)
+        if inner is None:
+            return None
+        return (-inner[0], -inner[1])
+    if isinstance(expr, ast.BinOp):
+        left = affine_of(expr.left, var, scalars)
+        right = affine_of(expr.right, var, scalars)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return (left[0] + right[0], left[1] + right[1])
+        if expr.op == "-":
+            return (left[0] - right[0], left[1] - right[1])
+        if expr.op == "*":
+            if left[0] == 0:
+                return (left[1] * right[0], left[1] * right[1])
+            if right[0] == 0:
+                return (left[0] * right[1], left[1] * right[1])
+            return None
+        if expr.op in ("div", "mod") and left[0] == 0 and right[0] == 0 and right[1] != 0:
+            if expr.op == "div":
+                return (0, left[1] // right[1])
+            return (0, left[1] % right[1])
+        return None
+    return None
+
+
+def free_scalars(expr: ast.Expr, table: SymbolTable) -> Set[str]:
+    """Global scalar names an expression depends on."""
+    out: Set[str] = set()
+    if expr is None:
+        return out
+    for node in ast.walk_exprs(expr):
+        if isinstance(node, ast.Name) and node.ident in table.scalars:
+            out.add(node.ident)
+    return out
+
+
+def forall_fingerprint(stmt: ast.ForallStmt, table: SymbolTable,
+                       scalars: Dict[str, object]) -> Tuple:
+    """Values of every scalar the forall's lowering depends on.
+
+    Keys the lowered-IR cache: if a referenced scalar changed between
+    executions, bounds or affine coefficients may differ and the loop is
+    re-lowered (getting a fresh schedule-cache identity as well).
+    """
+    names: Set[str] = set()
+    names |= free_scalars(stmt.lo, table)
+    names |= free_scalars(stmt.hi, table)
+    names |= free_scalars(stmt.on_sub, table)
+    for s in ast.walk_stmts(stmt.body):
+        if isinstance(s, ast.Assign):
+            red = ast.match_reduction(s)
+            if red is not None and red[0] in table.scalars:
+                # The accumulator's *value* never affects lowering (it is
+                # folded in after the loop); fingerprint only the
+                # contribution, or every sweep would re-lower the loop.
+                names |= free_scalars(red[2], table)
+            else:
+                names |= free_scalars(s.value, table)
+            if isinstance(s.target, ast.Index):
+                for sub in s.target.subs:
+                    names |= free_scalars(sub, table)
+        elif isinstance(s, ast.IfStmt):
+            names |= free_scalars(s.cond, table)
+        elif isinstance(s, ast.ForStmt):
+            names |= free_scalars(s.lo, table)
+            names |= free_scalars(s.hi, table)
+    return tuple(sorted((n, scalars.get(n)) for n in names))
+
+
+# --- the lowerer ----------------------------------------------------------------
+
+
+class _ReadPlan:
+    """How one Index AST node fetches its value inside the kernel."""
+
+    __slots__ = ("kind", "key", "col_expr", "col_lb", "array")
+
+    def __init__(self, kind: str, key: str, col_expr=None, col_lb: int = 0,
+                 array: str = ""):
+        self.kind = kind  # "affine" | "row" | "indirect" | "replicated"
+        self.key = key
+        self.col_expr = col_expr
+        self.col_lb = col_lb
+        self.array = array
+
+
+class ForallLowerer:
+    """Two-pass lowering: (1) walk the body collecting read/write
+    descriptors in *Kali coordinates* and the required domain shift
+    ``delta``; (2) emit the IR with all maps rebased to ``u = i - delta``
+    and build the vectorised kernel."""
+
+    def __init__(
+        self,
+        stmt: ast.ForallStmt,
+        table: SymbolTable,
+        arrays: Dict[str, ArrayInfo],
+        scalars: Dict[str, object],
+        local_data: Dict[str, np.ndarray],
+        label: str,
+    ):
+        self.stmt = stmt
+        self.table = table
+        self.arrays = arrays
+        self.scalars = scalars
+        self.local_data = local_data
+        self.label = label
+
+        # Collected in Kali coordinates: (kind-specific payloads)
+        self.affine_reads: Dict[Tuple[str, int, int], str] = {}
+        self.row_reads: Dict[Tuple[str, int, int], str] = {}
+        self.indirect_reads: Dict[Tuple[str, str, Optional[str]], str] = {}
+        self.read_plans: Dict[int, _ReadPlan] = {}
+        self.writes: Dict[str, Tuple[int, int]] = {}  # Kali-coord affine
+        self.write_conditional: Dict[str, bool] = {}
+        #: var -> reduction op; contributions are folded per statement
+        self.reductions: Dict[str, str] = {}
+        #: id(Assign) -> (var, contribution expr) for reduction statements
+        self.reduction_stmts: Dict[int, Tuple[str, ast.Expr]] = {}
+        self.delta: Optional[int] = None
+        self._loop_stack: List[str] = []
+        self._loop_count: Dict[str, Optional[str]] = {}
+        self.flops_inner = 0
+        self.flops_outer = 0
+        self._key_counter = 0
+
+    # --- helpers ------------------------------------------------------------
+
+    def _err(self, msg: str, line: int) -> KaliSemanticError:
+        return KaliSemanticError(f"forall: {msg}", line)
+
+    def _affine(self, expr: ast.Expr) -> Optional[Tuple[int, int]]:
+        return affine_of(expr, self.stmt.var, self.scalars)
+
+    def _new_key(self, base: str) -> str:
+        self._key_counter += 1
+        return f"{base}#{self._key_counter}"
+
+    def _require_delta(self, delta: int, what: str, line: int) -> None:
+        if self.delta is None:
+            self.delta = delta
+        elif self.delta != delta:
+            raise self._err(
+                f"{what} is not aligned with the other indirect references "
+                f"(needs iteration shift {delta}, loop uses {self.delta})",
+                line,
+            )
+
+    # --- classification -----------------------------------------------------------
+
+    def classify_read(self, node: ast.Index) -> None:
+        if id(node) in self.read_plans:
+            return
+        info = self.arrays.get(node.base)
+        if info is None:
+            raise self._err(f"{node.base!r} is not an array", node.line)
+
+        if not info.distributed:
+            self.read_plans[id(node)] = _ReadPlan("replicated", key="", array=node.base)
+            for sub in node.subs:
+                self._classify_nested(sub)
+            return
+
+        sub0 = node.subs[0]
+        aff0 = self._affine(sub0)
+
+        if aff0 is not None and len(node.subs) == 1:
+            key_t = (node.base, aff0[0], aff0[1])
+            if key_t not in self.affine_reads:
+                self.affine_reads[key_t] = self._new_key(node.base)
+            self.read_plans[id(node)] = _ReadPlan(
+                "affine", self.affine_reads[key_t], array=node.base
+            )
+            return
+
+        if aff0 is not None and len(node.subs) == 2:
+            key_t = (node.base, aff0[0], aff0[1])
+            if key_t not in self.row_reads:
+                self.row_reads[key_t] = self._new_key(node.base)
+            self.read_plans[id(node)] = _ReadPlan(
+                "row",
+                self.row_reads[key_t],
+                col_expr=node.subs[1],
+                col_lb=info.lower_bounds[1],
+                array=node.base,
+            )
+            self._classify_nested(node.subs[1])
+            return
+
+        # Indirect reference A[T[i]] / A[T[i, j]].
+        if (
+            len(node.subs) == 1
+            and isinstance(sub0, ast.Index)
+            and sub0.base in self.arrays
+            and self.arrays[sub0.base].distributed
+        ):
+            tinfo = self.arrays[sub0.base]
+            taff = self._affine(sub0.subs[0])
+            if taff is None or taff[0] != 1:
+                raise self._err(
+                    f"indirection table {sub0.base!r} must be indexed by the "
+                    "forall index (as T[i] or T[i, j])",
+                    node.line,
+                )
+            # Row space: global0 = i + b - lb_T; require u == global0.
+            self._require_delta(tinfo.lower_bounds[0] - taff[1],
+                                f"indirection table {sub0.base!r}", node.line)
+            count_name = None
+            if self._loop_stack:
+                count_name = self._loop_count.get(self._loop_stack[-1])
+            col_expr = sub0.subs[1] if len(sub0.subs) == 2 else None
+            if col_expr is None and count_name is not None:
+                count_name = None  # 1-d table: no live-width masking needed
+            key_t = (node.base, sub0.base, count_name)
+            if key_t not in self.indirect_reads:
+                self.indirect_reads[key_t] = self._new_key(node.base)
+            self.read_plans[id(node)] = _ReadPlan(
+                "indirect",
+                self.indirect_reads[key_t],
+                col_expr=col_expr,
+                col_lb=tinfo.lower_bounds[1] if len(tinfo.lower_bounds) > 1 else 0,
+                array=node.base,
+            )
+            if col_expr is not None:
+                self._classify_nested(col_expr)
+            return
+
+        raise self._err(
+            f"unsupported subscript for {node.base!r}: references must be "
+            "affine in the forall index or indirect through an aligned "
+            "table (paper §3.1 reference model)",
+            node.line,
+        )
+
+    def _classify_nested(self, expr: ast.Expr) -> None:
+        for node in ast.walk_exprs(expr):
+            if isinstance(node, ast.Index):
+                self.classify_read(node)
+
+    # --- body walk --------------------------------------------------------------
+
+    def analyze_body(self) -> None:
+        self._walk_stmts(self.stmt.body, conditional=False, in_inner=False)
+
+    def _walk_stmts(self, stmts: List[ast.Stmt], conditional: bool, in_inner: bool) -> None:
+        for s in stmts:
+            if isinstance(s, ast.Assign):
+                if self._record_reduction(s, conditional, in_inner):
+                    continue
+                self._walk_expr(s.value, in_inner)
+                if isinstance(s.target, ast.Index):
+                    self._record_write(s)
+                # local-scalar targets need no analysis
+            elif isinstance(s, ast.IfStmt):
+                self._walk_expr(s.cond, in_inner)
+                self._walk_stmts(s.then_body, conditional=True, in_inner=in_inner)
+                self._walk_stmts(s.else_body, conditional=True, in_inner=in_inner)
+            elif isinstance(s, ast.ForStmt):
+                self._enter_inner_loop(s)
+                self._walk_expr(s.lo, in_inner)
+                self._walk_expr(s.hi, in_inner)
+                self._walk_stmts(s.body, conditional=conditional, in_inner=True)
+                self._loop_stack.pop()
+            else:
+                raise self._err(
+                    f"statement {type(s).__name__} not allowed in forall bodies",
+                    s.line,
+                )
+
+    def _record_write(self, s: ast.Assign) -> None:
+        target = s.target
+        info = self.arrays.get(target.base)
+        if info is None or not info.distributed:
+            raise self._err(
+                f"assignment target {target.base!r} must be a distributed "
+                "array or forall-local variable",
+                s.line,
+            )
+        if len(target.subs) != 1:
+            raise self._err(
+                "only one-dimensional distributed writes are supported in "
+                "forall bodies",
+                s.line,
+            )
+        aff = self._affine(target.subs[0])
+        if aff is None or aff[0] == 0:
+            raise self._err(
+                f"write subscript of {target.base!r} must be affine in the "
+                "forall index",
+                s.line,
+            )
+        prev = self.writes.get(target.base)
+        if prev is not None and prev != aff:
+            raise self._err(
+                f"conflicting write subscripts for {target.base!r}", s.line
+            )
+        in_cond = self._currently_conditional
+        self.writes[target.base] = aff
+        self.write_conditional[target.base] = (
+            self.write_conditional.get(target.base, False) or in_cond
+        )
+
+    def _record_reduction(self, s: ast.Assign, conditional: bool,
+                          in_inner: bool) -> bool:
+        """Handle global-scalar reduction assignments (sema validated the
+        shape); returns True when the statement is a reduction.
+
+        Reductions may appear anywhere in the body — under ``if`` and
+        inside inner ``for`` loops — because the kernel folds each
+        contribution under the statement's active mask.
+        """
+        if not isinstance(s.target, ast.Name):
+            return False
+        name = s.target.ident
+        if name not in self.table.scalars:
+            return False  # forall-local variable: plain kernel assignment
+        red = ast.match_reduction(s)
+        if red is None:  # pragma: no cover - sema rejects other shapes
+            raise self._err(f"unsupported global-scalar write {name!r}", s.line)
+        var, op, contrib = red
+        prev_op = self.reductions.get(var)
+        if prev_op is not None and prev_op != op:
+            raise self._err(
+                f"conflicting reduction operators for {var!r} "
+                f"({prev_op} vs {op})",
+                s.line,
+            )
+        self.reductions[var] = op
+        self.reduction_stmts[id(s)] = (var, contrib)
+        self._walk_expr(contrib, in_inner)
+        return True
+
+    _currently_conditional = False
+
+    def _walk_stmts_cond_tracking(self):  # pragma: no cover - documentation
+        pass
+
+    def _walk_expr(self, expr: ast.Expr, in_inner: bool) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.Index):
+            self.classify_read(expr)
+            return
+        if isinstance(expr, ast.BinOp):
+            if expr.op in ARITH_OPS:
+                if in_inner:
+                    self.flops_inner += 1
+                else:
+                    self.flops_outer += 1
+            self._walk_expr(expr.left, in_inner)
+            self._walk_expr(expr.right, in_inner)
+        elif isinstance(expr, ast.UnOp):
+            self._walk_expr(expr.operand, in_inner)
+        elif isinstance(expr, ast.Call):
+            for a in expr.args:
+                self._walk_expr(a, in_inner)
+
+    def _enter_inner_loop(self, s: ast.ForStmt) -> None:
+        """Detect the canonical live-width bound ``for j in 1..C[i]``."""
+        count_name: Optional[str] = None
+        hi = s.hi
+        if isinstance(hi, ast.Index) and len(hi.subs) == 1:
+            aff = self._affine(hi.subs[0])
+            info = self.arrays.get(hi.base)
+            if aff is not None and aff[0] == 1 and info is not None and info.distributed:
+                count_name = hi.base
+                # The count array must share the iteration row space.
+                self._require_delta(info.lower_bounds[0] - aff[1],
+                                    f"count array {hi.base!r}", s.line)
+        self._loop_stack.append(s.var)
+        self._loop_count[s.var] = count_name
+
+    # --- building -------------------------------------------------------------------
+
+    def build(self) -> Forall:
+        stmt = self.stmt
+        lo = _eval_const(stmt.lo, self.scalars, stmt.line)
+        hi = _eval_const(stmt.hi, self.scalars, stmt.line)
+
+        # Track conditionality through a shadow walk (cheap second pass):
+        self._walk_with_cond(stmt.body, False)
+        self.analyze_body()
+        if not self.writes and not self.reductions:
+            raise self._err(
+                "forall body assigns to no distributed array and performs "
+                "no reduction",
+                stmt.line,
+            )
+
+        delta = self.delta if self.delta is not None else 0
+
+        # Conditional writes need the target's old value merged in.
+        for name, aff in list(self.writes.items()):
+            if self.write_conditional[name]:
+                key_t = (name, aff[0], aff[1])
+                if key_t not in self.affine_reads:
+                    self.affine_reads[key_t] = self._new_key(name)
+
+        def rebase(aff: Tuple[int, int], lb: int) -> Affine:
+            """Kali-coordinate a*i + b against lower bound lb, over u."""
+            a, b = aff
+            return Affine(a, a * delta + b - lb)
+
+        reads: List = []
+        for (arr, a, b), key in self.affine_reads.items():
+            reads.append(AffineRead(arr, rebase((a, b), self.arrays[arr].lower_bounds[0]), name=key))
+        for (arr, a, b), key in self.row_reads.items():
+            reads.append(AffineRead(arr, rebase((a, b), self.arrays[arr].lower_bounds[0]), name=key))
+        for (arr, tbl, cnt), key in self.indirect_reads.items():
+            reads.append(
+                IndirectRead(
+                    arr,
+                    table=tbl,
+                    count=cnt,
+                    name=key,
+                    # Table values are Kali indices; rebase to 0-based.
+                    offset=-self.arrays[arr].lower_bounds[0],
+                )
+            )
+
+        writes = [
+            AffineWrite(name, rebase(aff, self.arrays[name].lower_bounds[0]))
+            for name, aff in sorted(self.writes.items())
+        ]
+
+        if stmt.direct:
+            aff = self._affine(stmt.on_sub)
+            if aff is None:
+                raise self._err(
+                    "processor subscript must be affine in the forall index",
+                    stmt.line,
+                )
+            on = OnProcessor(rebase(aff, 1))  # processor arrays declared [1..P]
+        else:
+            info = self.arrays[stmt.on_array]
+            aff = self._affine(stmt.on_sub)
+            if aff is None or aff[0] == 0:
+                raise self._err(
+                    "on-clause subscript must be affine in the forall index",
+                    stmt.line,
+                )
+            on = OnOwner(stmt.on_array, rebase(aff, info.lower_bounds[0]))
+
+        kernel = self._build_kernel(delta)
+        return Forall(
+            index_range=(lo - delta, hi - delta),
+            on=on,
+            reads=reads,
+            writes=writes,
+            kernel=kernel,
+            reductions=[
+                ReduceSpec(name, op)
+                for name, op in sorted(self.reductions.items())
+            ],
+            flops_per_ref=float(self.flops_inner),
+            flops_per_iter=float(self.flops_outer),
+            label=self.label,
+        )
+
+    def _walk_with_cond(self, stmts: List[ast.Stmt], conditional: bool) -> None:
+        """Pre-pass recording which array writes sit under conditionals."""
+        for s in stmts:
+            if isinstance(s, ast.Assign) and isinstance(s.target, ast.Index):
+                name = s.target.base
+                self.write_conditional[name] = (
+                    self.write_conditional.get(name, False) or conditional
+                )
+            elif isinstance(s, ast.IfStmt):
+                self._walk_with_cond(s.then_body, True)
+                self._walk_with_cond(s.else_body, True)
+            elif isinstance(s, ast.ForStmt):
+                self._walk_with_cond(s.body, conditional)
+
+    # --- kernel construction ---------------------------------------------------
+
+    def _build_kernel(self, delta: int) -> Callable:
+        stmt = self.stmt
+        plans = self.read_plans
+        scalars = dict(self.scalars)
+        local_data = self.local_data
+        arrays = self.arrays
+        var = stmt.var
+        writes_aff = dict(self.writes)
+        write_conditional = dict(self.write_conditional)
+        affine_keys = dict(self.affine_reads)
+        local_names = [n for d in stmt.local_decls for n in d.names]
+        reductions = dict(self.reductions)
+        reduction_stmts = dict(self.reduction_stmts)
+        table_scalars = set(self.table.scalars)
+        _identity = {"sum": 0.0, "max": float("-inf"), "min": float("inf")}
+
+        def kernel(iters: np.ndarray, ops: Dict[str, object]):
+            n = int(iters.size)
+            venv: Dict[str, object] = {var: iters + delta}  # Kali coordinates
+            for name in local_names:
+                venv[name] = np.zeros(n)
+            wvals: Dict[str, np.ndarray] = {}
+            wmask: Dict[str, np.ndarray] = {}
+            rvals: Dict[str, np.ndarray] = {
+                rname: np.full(n, _identity[op]) for rname, op in reductions.items()
+            }
+
+            def fetch(node: ast.Index, mask):
+                plan = plans[id(node)]
+                if plan.kind == "replicated":
+                    data = local_data[node.base]
+                    info = arrays[node.base]
+                    idx = tuple(
+                        _as_index(evaluate(sub, mask)) - lb
+                        for sub, lb in zip(node.subs, info.lower_bounds)
+                    )
+                    return data[idx]
+                if plan.kind == "affine":
+                    return ops[plan.key]
+                if plan.kind == "row":
+                    rows = ops[plan.key]
+                    col = _as_index(evaluate(plan.col_expr, mask)) - plan.col_lb
+                    return _column(rows, col, n)
+                operand: IndirectOperand = ops[plan.key]
+                if plan.col_expr is None:
+                    return operand.values[:, 0]
+                col = _as_index(evaluate(plan.col_expr, mask)) - plan.col_lb
+                return _column(operand.values, col, n)
+
+            def evaluate(expr: ast.Expr, mask):
+                if isinstance(expr, ast.NumLit):
+                    return expr.value
+                if isinstance(expr, ast.BoolLit):
+                    return expr.value
+                if isinstance(expr, ast.Name):
+                    if expr.ident in venv:
+                        return venv[expr.ident]
+                    return scalars[expr.ident]
+                if isinstance(expr, ast.Index):
+                    return fetch(expr, mask)
+                if isinstance(expr, ast.UnOp):
+                    v = evaluate(expr.operand, mask)
+                    if expr.op == "not":
+                        return np.logical_not(v)
+                    return -np.asarray(v) if isinstance(v, np.ndarray) else -v
+                if isinstance(expr, ast.BinOp):
+                    return _binop(
+                        expr.op, evaluate(expr.left, mask), evaluate(expr.right, mask)
+                    )
+                if isinstance(expr, ast.Call):
+                    return _call(expr.func, [evaluate(a, mask) for a in expr.args])
+                raise AssertionError(f"bad kernel expression {expr!r}")
+
+            def assign(target, value, mask):
+                value = np.asarray(value)
+                if value.ndim == 0:
+                    value = np.broadcast_to(value, (n,))
+                if isinstance(target, ast.Name):
+                    old = np.asarray(venv[target.ident])
+                    if old.ndim == 0:
+                        old = np.broadcast_to(old, (n,))
+                    venv[target.ident] = np.where(mask, value, old)
+                    return
+                name = target.base
+                if name not in wvals:
+                    dtype = np.int64 if arrays[name].elem == "integer" else np.float64
+                    wvals[name] = np.zeros(n, dtype=dtype)
+                    wmask[name] = np.zeros(n, dtype=bool)
+                wvals[name] = np.where(mask, value, wvals[name])
+                wmask[name] = wmask[name] | mask
+
+            def fold_reduction(stmt_id, mask):
+                rname, contrib = reduction_stmts[stmt_id]
+                op = reductions[rname]
+                c = np.asarray(evaluate(contrib, mask), dtype=np.float64)
+                if c.ndim == 0:
+                    c = np.broadcast_to(c, (n,))
+                cur = rvals[rname]
+                if op == "sum":
+                    rvals[rname] = np.where(mask, cur + c, cur)
+                elif op == "max":
+                    rvals[rname] = np.where(mask & (c > cur), c, cur)
+                else:
+                    rvals[rname] = np.where(mask & (c < cur), c, cur)
+
+            def run_stmts(stmts, mask):
+                for s in stmts:
+                    if isinstance(s, ast.Assign):
+                        if (
+                            isinstance(s.target, ast.Name)
+                            and s.target.ident in table_scalars
+                        ):
+                            fold_reduction(id(s), mask)
+                            continue
+                        assign(s.target, evaluate(s.value, mask), mask)
+                    elif isinstance(s, ast.IfStmt):
+                        cond = np.broadcast_to(
+                            np.asarray(evaluate(s.cond, mask), dtype=bool), (n,)
+                        )
+                        if (mask & cond).any():
+                            run_stmts(s.then_body, mask & cond)
+                        if s.else_body and (mask & ~cond).any():
+                            run_stmts(s.else_body, mask & ~cond)
+                    elif isinstance(s, ast.ForStmt):
+                        lo_v = np.asarray(evaluate(s.lo, mask))
+                        hi_v = np.asarray(evaluate(s.hi, mask))
+                        if lo_v.ndim and (lo_v != lo_v.flat[0]).any():
+                            raise KaliSemanticError(
+                                "inner for lower bound must be uniform", s.line
+                            )
+                        lo_i = int(lo_v.flat[0]) if lo_v.ndim else int(lo_v)
+                        hi_vec = np.broadcast_to(hi_v, (n,))
+                        hi_max = int(hi_vec.max()) if n else lo_i - 1
+                        for j in range(lo_i, hi_max + 1):
+                            venv[s.var] = j
+                            live = mask & (j <= hi_vec)
+                            if live.any():
+                                run_stmts(s.body, live)
+                        venv.pop(s.var, None)
+                    else:  # pragma: no cover - rejected during analysis
+                        raise AssertionError(s)
+
+            if n:
+                run_stmts(stmt.body, np.ones(n, dtype=bool))
+
+            out: Dict[str, np.ndarray] = {}
+            for name, aff in writes_aff.items():
+                vals = wvals.get(name)
+                m = wmask.get(name)
+                if vals is None:
+                    dtype = np.int64 if arrays[name].elem == "integer" else np.float64
+                    vals = np.zeros(n, dtype=dtype)
+                    m = np.zeros(n, dtype=bool)
+                if write_conditional.get(name) and not m.all():
+                    key = affine_keys[(name, aff[0], aff[1])]
+                    vals = np.where(m, vals, ops[key])
+                out[name] = vals
+            for rname in reductions:
+                out[rname] = rvals[rname]
+            if len(out) == 1 and not reductions:
+                return next(iter(out.values()))
+            return out
+
+        return kernel
+
+
+def _column(rows: np.ndarray, col, n: int) -> np.ndarray:
+    if np.ndim(col) == 0:
+        return rows[:, int(col)]
+    return rows[np.arange(n), np.asarray(col)]
+
+
+def _as_index(value):
+    if isinstance(value, np.ndarray):
+        return value.astype(np.int64)
+    return int(value)
+
+
+def _binop(op: str, left, right):
+    vector = isinstance(left, np.ndarray) or isinstance(right, np.ndarray)
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        return np.true_divide(left, right) if vector else left / right
+    if op == "div":
+        return left // right
+    if op == "mod":
+        return left % right
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "and":
+        return np.logical_and(left, right) if vector else (left and right)
+    if op == "or":
+        return np.logical_or(left, right) if vector else (left or right)
+    raise AssertionError(f"unknown operator {op}")
+
+
+def _call(func: str, args):
+    if func == "abs":
+        return np.abs(args[0]) if isinstance(args[0], np.ndarray) else abs(args[0])
+    if func == "min":
+        return np.minimum(args[0], args[1])
+    if func == "max":
+        return np.maximum(args[0], args[1])
+    if func == "float":
+        return (
+            np.asarray(args[0], dtype=np.float64)
+            if isinstance(args[0], np.ndarray)
+            else float(args[0])
+        )
+    if func == "trunc":
+        return (
+            np.trunc(args[0]).astype(np.int64)
+            if isinstance(args[0], np.ndarray)
+            else int(args[0])
+        )
+    if func == "sqrt":
+        return np.sqrt(args[0])
+    raise KaliSemanticError(f"unknown built-in function {func!r}")
+
+
+def _eval_const(expr: ast.Expr, scalars: Dict[str, object], line: int) -> int:
+    aff = affine_of(expr, "\x00no-var\x00", scalars)
+    if aff is None or aff[0] != 0:
+        raise KaliSemanticError(
+            "forall bounds must be integer expressions over scalars", line
+        )
+    return aff[1]
+
+
+def lower_forall(
+    stmt: ast.ForallStmt,
+    table: SymbolTable,
+    arrays: Dict[str, ArrayInfo],
+    scalars: Dict[str, object],
+    local_data: Dict[str, np.ndarray],
+    label: str,
+) -> Forall:
+    """Lower one forall statement to the Forall IR (see module docstring)."""
+    return ForallLowerer(stmt, table, arrays, scalars, local_data, label).build()

@@ -1,0 +1,104 @@
+"""Token definitions for the Kali language (paper §2, Figures 1 and 4).
+
+Kali is "a Pascal-like language we created as a testbed for these
+techniques"; the token set below covers the constructs the paper shows:
+``processors`` declarations, ``var``/``const`` declarations with ``dist
+by [...] on`` clauses, ``forall``/``for``/``while``/``if`` statements, and
+Pascal expression syntax with ``--`` line comments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class TokenType(enum.Enum):
+    # literals and names
+    IDENT = "identifier"
+    INT = "integer literal"
+    REAL = "real literal"
+    STRING = "string literal"
+
+    # punctuation
+    COLON = ":"
+    SEMI = ";"
+    COMMA = ","
+    DOT = "."
+    DOTDOT = ".."
+    ASSIGN = ":="
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    STAR = "*"
+    PLUS = "+"
+    MINUS = "-"
+    SLASH = "/"
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    # end of input
+    EOF = "end of input"
+
+    # keywords
+    KW_PROCESSORS = "processors"
+    KW_ARRAY = "array"
+    KW_WITH = "with"
+    KW_IN = "in"
+    KW_VAR = "var"
+    KW_CONST = "const"
+    KW_OF = "of"
+    KW_REAL = "real"
+    KW_INTEGER = "integer"
+    KW_BOOLEAN = "boolean"
+    KW_DIST = "dist"
+    KW_BY = "by"
+    KW_ON = "on"
+    KW_FORALL = "forall"
+    KW_FOR = "for"
+    KW_WHILE = "while"
+    KW_DO = "do"
+    KW_END = "end"
+    KW_IF = "if"
+    KW_THEN = "then"
+    KW_ELSE = "else"
+    KW_AND = "and"
+    KW_OR = "or"
+    KW_NOT = "not"
+    KW_MOD = "mod"
+    KW_DIV = "div"
+    KW_LOC = "loc"
+    KW_TRUE = "true"
+    KW_FALSE = "false"
+    KW_PRINT = "print"
+    KW_REDISTRIBUTE = "redistribute"
+    KW_BLOCK = "block"
+    KW_CYCLIC = "cyclic"
+    KW_BLOCK_CYCLIC = "block_cyclic"
+
+
+KEYWORDS = {
+    t.value: t
+    for t in TokenType
+    if t.name.startswith("KW_")
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position (1-based line/column)."""
+
+    type: TokenType
+    text: str
+    line: int
+    column: int
+    value: Any = None  # parsed value for literals
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.text!r}, {self.line}:{self.column})"

@@ -1,0 +1,172 @@
+"""Pretty-printer: AST back to Kali source.
+
+Produces canonical, re-parseable Kali text.  Used for diagnostics (show
+the compiler's view of a program) and to property-test the front end:
+``parse(unparse(parse(src)))`` must yield an identical AST.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang import ast
+
+_INDENT = "    "
+
+# Operator precedence levels for minimal parenthesisation (higher binds
+# tighter; mirrors the parser's grammar).
+_PREC = {
+    "or": 1,
+    "and": 2,
+    "=": 4, "<>": 4, "<": 4, "<=": 4, ">": 4, ">=": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6, "div": 6, "mod": 6,
+}
+_UNARY_PREC = {"not": 3, "-": 7}
+
+
+def unparse_expr(expr: ast.Expr, parent_prec: int = 0) -> str:
+    if isinstance(expr, ast.NumLit):
+        if isinstance(expr.value, float):
+            text = repr(expr.value)
+            return text
+        return str(expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.StrLit):
+        return f'"{expr.value}"'
+    if isinstance(expr, ast.Name):
+        return expr.ident
+    if isinstance(expr, ast.Index):
+        subs = ", ".join(unparse_expr(s) for s in expr.subs)
+        return f"{expr.base}[{subs}]"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(unparse_expr(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, ast.UnOp):
+        prec = _UNARY_PREC[expr.op]
+        inner = unparse_expr(expr.operand, prec)
+        if expr.op == "-" and inner.startswith("-"):
+            # "--" would lex as a comment; force parentheses.
+            inner = f"({inner})"
+        text = f"not {inner}" if expr.op == "not" else f"-{inner}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, ast.BinOp):
+        prec = _PREC[expr.op]
+        # Left-associative grammar: the right operand needs a strictly
+        # higher binding to avoid re-association on re-parse.
+        left = unparse_expr(expr.left, prec)
+        right = unparse_expr(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if prec < parent_prec else text
+    raise TypeError(f"cannot unparse {expr!r}")
+
+
+def _unparse_pattern(p: ast.DistPattern) -> str:
+    if p.kind == "block_cyclic":
+        return f"block_cyclic({unparse_expr(p.param)})"
+    return p.kind
+
+
+def _unparse_type(t: ast.TypeNode) -> str:
+    if isinstance(t, ast.ScalarType):
+        return t.kind
+    ranges = ", ".join(
+        f"{unparse_expr(lo)}..{unparse_expr(hi)}" for lo, hi in t.ranges
+    )
+    text = f"array[{ranges}] of {t.elem.kind}"
+    if t.dist is not None:
+        pats = ", ".join(_unparse_pattern(p) for p in t.dist)
+        text += f" dist by [ {pats} ] on {t.on_procs}"
+    return text
+
+
+def _unparse_decl(decl: ast.Decl) -> List[str]:
+    if isinstance(decl, ast.ProcessorsDecl):
+        text = (
+            f"processors {decl.name} : array[{unparse_expr(decl.lo)}.."
+            f"{unparse_expr(decl.hi)}]"
+        )
+        if decl.size_var:
+            text += (
+                f" with {decl.size_var} in {unparse_expr(decl.min_expr)}.."
+                f"{unparse_expr(decl.max_expr)}"
+            )
+        return [text + ";"]
+    if isinstance(decl, ast.VarDecl):
+        names = ", ".join(decl.names)
+        return [f"var {names} : {_unparse_type(decl.type)};"]
+    if isinstance(decl, ast.ConstDecl):
+        text = f"const {decl.name}"
+        if decl.type is not None:
+            text += f" : {decl.type.kind}"
+        if decl.value is not None:
+            text += f" := {unparse_expr(decl.value)}"
+        return [text + ";"]
+    raise TypeError(f"cannot unparse {decl!r}")
+
+
+def _unparse_stmt(stmt: ast.Stmt, depth: int) -> List[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, ast.Assign):
+        target = unparse_expr(stmt.target)
+        return [f"{pad}{target} := {unparse_expr(stmt.value)};"]
+    if isinstance(stmt, ast.IfStmt):
+        out = [f"{pad}if {unparse_expr(stmt.cond)} then"]
+        for s in stmt.then_body:
+            out.extend(_unparse_stmt(s, depth + 1))
+        if stmt.else_body:
+            out.append(f"{pad}else")
+            for s in stmt.else_body:
+                out.extend(_unparse_stmt(s, depth + 1))
+        out.append(f"{pad}end;")
+        return out
+    if isinstance(stmt, ast.WhileStmt):
+        out = [f"{pad}while {unparse_expr(stmt.cond)} do"]
+        for s in stmt.body:
+            out.extend(_unparse_stmt(s, depth + 1))
+        out.append(f"{pad}end;")
+        return out
+    if isinstance(stmt, ast.ForStmt):
+        out = [
+            f"{pad}for {stmt.var} in {unparse_expr(stmt.lo)}.."
+            f"{unparse_expr(stmt.hi)} do"
+        ]
+        for s in stmt.body:
+            out.extend(_unparse_stmt(s, depth + 1))
+        out.append(f"{pad}end;")
+        return out
+    if isinstance(stmt, ast.ForallStmt):
+        on = f"{stmt.on_array}[{unparse_expr(stmt.on_sub)}]"
+        if not stmt.direct:
+            on += ".loc"
+        out = [
+            f"{pad}forall {stmt.var} in {unparse_expr(stmt.lo)}.."
+            f"{unparse_expr(stmt.hi)} on {on} do"
+        ]
+        for decl in stmt.local_decls:
+            names = ", ".join(decl.names)
+            out.append(f"{pad}{_INDENT}var {names} : {_unparse_type(decl.type)};")
+        for s in stmt.body:
+            out.extend(_unparse_stmt(s, depth + 1))
+        out.append(f"{pad}end;")
+        return out
+    if isinstance(stmt, ast.PrintStmt):
+        args = ", ".join(unparse_expr(a) for a in stmt.args)
+        return [f"{pad}print({args});"]
+    if isinstance(stmt, ast.RedistributeStmt):
+        pats = ", ".join(_unparse_pattern(p) for p in stmt.patterns)
+        return [f"{pad}redistribute {stmt.array} by [ {pats} ];"]
+    raise TypeError(f"cannot unparse {stmt!r}")
+
+
+def unparse(program: ast.Program) -> str:
+    """Render a program AST as canonical Kali source text."""
+    lines: List[str] = []
+    for decl in program.decls:
+        lines.extend(_unparse_decl(decl))
+    if program.decls and program.stmts:
+        lines.append("")
+    for stmt in program.stmts:
+        lines.extend(_unparse_stmt(stmt, 0))
+    return "\n".join(lines) + "\n"

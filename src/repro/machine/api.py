@@ -1,0 +1,148 @@
+"""Rank-side programming interface for the SPMD engine.
+
+A rank program is a generator function ``def prog(rank: Rank): ...`` that
+``yield``\\ s *ops*.  The engine interprets each op, advances the rank's
+virtual clock, and resumes the generator with the op's result (a
+:class:`Message` for receives, the current clock for :class:`Now`).
+
+Nested helpers (collectives, the inspector/executor runtime) are themselves
+generator functions invoked with ``yield from``, exactly like SimPy-style
+process models::
+
+    def prog(rank):
+        data = np.arange(4.0)
+        total = yield from allreduce(rank, data.sum())
+        yield Compute(1e-6, phase="work")
+
+The separation between *ops* (pure data, below) and the :class:`Rank`
+facade keeps rank programs testable without an engine: tests can drive a
+generator by hand and inspect the ops it yields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+DEFAULT_PHASE = "compute"
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Best-effort wire size of a payload (NumPy fast path, pickle-free)."""
+    if payload is None:
+        return 0
+    nbytes = getattr(payload, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, (int, float)):
+        return 8
+    if isinstance(payload, (tuple, list)):
+        return sum(payload_nbytes(p) for p in payload)
+    if isinstance(payload, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in payload.items())
+    return 64  # conservative default for opaque objects
+
+
+class Op:
+    """Base class of everything a rank program may ``yield``."""
+
+    __slots__ = ()
+
+
+@dataclass
+class Send(Op):
+    """Send ``payload`` to rank ``dest`` with a matching ``tag``.
+
+    The sender is charged ``alpha_send + beta * nbytes``; the message
+    becomes available at the destination after the additional per-hop
+    transit latency.  ``nbytes`` defaults to the payload's wire size.
+    """
+
+    dest: int
+    payload: Any = None
+    tag: int = 0
+    nbytes: Optional[int] = None
+    phase: str = DEFAULT_PHASE
+
+    def wire_size(self) -> int:
+        return self.nbytes if self.nbytes is not None else payload_nbytes(self.payload)
+
+
+@dataclass
+class Recv(Op):
+    """Blocking receive.  Resumes the generator with a :class:`Message`.
+
+    ``source``/``tag`` may be :data:`ANY_SOURCE`/:data:`ANY_TAG`.  Wildcard
+    *sources* are resolved conservatively (only once every other rank is
+    blocked or finished) so results stay deterministic.
+    """
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    phase: str = DEFAULT_PHASE
+
+
+@dataclass
+class Compute(Op):
+    """Advance this rank's virtual clock by ``seconds`` of local work."""
+
+    seconds: float
+    phase: str = DEFAULT_PHASE
+
+    def __post_init__(self):
+        if self.seconds < 0:
+            raise ValueError(f"Compute seconds must be >= 0, got {self.seconds}")
+
+
+@dataclass
+class Now(Op):
+    """Resume the generator with the rank's current virtual clock."""
+
+
+@dataclass
+class Count(Op):
+    """Increment a named statistics counter (no time charged)."""
+
+    name: str
+    amount: int = 1
+
+
+@dataclass
+class Message:
+    """A delivered message, as returned by :class:`Recv`."""
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    nbytes: int
+    arrival: float
+    seq: int
+
+
+class Rank:
+    """Per-rank context handed to rank programs.
+
+    Carries the rank id, world size, the machine cost model and topology
+    (so runtime code can *compute* cost charges), plus an arbitrary
+    user-supplied argument object.
+    """
+
+    __slots__ = ("id", "size", "machine", "topology", "arg")
+
+    def __init__(self, rank_id: int, size: int, machine, topology, arg: Any = None):
+        self.id = rank_id
+        self.size = size
+        self.machine = machine
+        self.topology = topology
+        self.arg = arg
+
+    def __repr__(self) -> str:
+        return f"Rank({self.id}/{self.size})"

@@ -1,0 +1,348 @@
+"""Deterministic discrete-event SPMD engine.
+
+The engine runs one generator per rank under *virtual time*.  Each rank has
+its own clock; communication ops advance clocks according to the machine
+cost model, and a blocking receive completes at
+``max(receiver clock, message arrival) + alpha_recv``.
+
+Scheduling is event-driven: a rank runs until it blocks on an unsatisfied
+:class:`~repro.machine.api.Recv` or finishes.  A send to a rank blocked on
+a matching receive makes that rank runnable again.  Because message
+matching per ``(source, tag)`` channel is FIFO and arrival times are
+functions only of sender clocks (never of host execution order), the
+resulting virtual clocks are exactly reproducible.
+
+Wildcard-*source* receives are resolved conservatively: only when every
+other rank is blocked or finished does the engine match the candidate
+message with the earliest arrival time (ties broken by source rank, then
+sequence number).  The generated Kali runtime never needs wildcard sources
+— schedules name their peers — but collectives tests and user programs may
+use them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
+
+from repro.errors import CommunicationError, DeadlockError, EngineError
+from repro.machine.api import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Compute,
+    Count,
+    Message,
+    Now,
+    Op,
+    Rank,
+    Recv,
+    Send,
+)
+from repro.machine.cost import MachineModel
+from repro.machine.stats import RankStats, RunResult
+from repro.machine.topology import FullyConnected, Topology
+from repro.machine.trace import TraceEvent
+
+RankProgram = Callable[[Rank], Generator[Op, Any, Any]]
+
+_RUNNABLE = 0
+_BLOCKED = 1
+_FINISHED = 2
+
+
+class _RankState:
+    __slots__ = (
+        "rank_id",
+        "gen",
+        "clock",
+        "status",
+        "waiting",  # the Recv op this rank is blocked on (if _BLOCKED)
+        "resume_value",
+        "value",
+        "stats",
+    )
+
+    def __init__(self, rank_id: int, gen: Generator, stats: RankStats):
+        self.rank_id = rank_id
+        self.gen = gen
+        self.clock = 0.0
+        self.status = _RUNNABLE
+        self.waiting: Optional[Recv] = None
+        self.resume_value: Any = None
+        self.value: Any = None
+        self.stats = stats
+
+
+class Engine:
+    """Run an SPMD program (one generator per rank) to completion.
+
+    Parameters
+    ----------
+    machine:
+        Cost model used to charge virtual time.
+    topology:
+        Interconnect (defaults to :class:`FullyConnected` over ``nranks``).
+    nranks:
+        World size; defaults to ``topology.size``.
+    max_ops:
+        Safety valve: abort after this many interpreted ops (guards against
+        accidentally non-terminating rank programs in tests).
+    """
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        topology: Optional[Topology] = None,
+        nranks: Optional[int] = None,
+        max_ops: int = 500_000_000,
+        trace: bool = False,
+    ):
+        if topology is None:
+            if nranks is None:
+                raise EngineError("Engine needs a topology or an explicit nranks")
+            topology = FullyConnected(nranks)
+        self.machine = machine
+        self.topology = topology
+        self.nranks = nranks if nranks is not None else topology.size
+        if self.nranks > topology.size:
+            raise EngineError(
+                f"nranks={self.nranks} exceeds topology size {topology.size}"
+            )
+        self.max_ops = max_ops
+        self.trace = trace
+
+    # --- public API ------------------------------------------------------
+
+    def run(
+        self,
+        program: RankProgram,
+        args: Optional[List[Any]] = None,
+    ) -> RunResult:
+        """Execute ``program`` on every rank and return the :class:`RunResult`.
+
+        ``args`` optionally supplies a per-rank argument object exposed as
+        ``rank.arg``.
+        """
+        if args is not None and len(args) != self.nranks:
+            raise EngineError(f"args must have length {self.nranks}")
+
+        states: List[_RankState] = []
+        for r in range(self.nranks):
+            ctx = Rank(r, self.nranks, self.machine, self.topology,
+                       args[r] if args is not None else None)
+            gen = program(ctx)
+            if not hasattr(gen, "send"):
+                raise EngineError(
+                    "rank program must be a generator function (did you forget "
+                    "to 'yield'?)"
+                )
+            states.append(_RankState(r, gen, RankStats(r)))
+
+        # mailbox[(dst, src, tag)] -> FIFO of messages
+        mailbox: Dict[Tuple[int, int, int], Deque[Message]] = defaultdict(deque)
+        ready: Deque[int] = deque(range(self.nranks))
+        seq_counter = 0
+        ops_interpreted = 0
+        trace_events: List[TraceEvent] = [] if self.trace else None
+
+        def try_match(state: _RankState, recv: Recv) -> Optional[Message]:
+            """Match a receive against the mailbox; wildcard-source receives
+            are only matched here during the resolution phase."""
+            dst = state.rank_id
+            if recv.source != ANY_SOURCE and recv.tag != ANY_TAG:
+                q = mailbox.get((dst, recv.source, recv.tag))
+                return q[0] if q else None
+            candidates: List[Message] = []
+            if recv.source != ANY_SOURCE:
+                for (d, s, t), q in mailbox.items():
+                    if d == dst and s == recv.source and q:
+                        candidates.append(q[0])
+            else:
+                for (d, s, t), q in mailbox.items():
+                    if d == dst and q and (recv.tag == ANY_TAG or t == recv.tag):
+                        candidates.append(q[0])
+            if not candidates:
+                return None
+            # Ties break by source, then send order (seq) — never by tag,
+            # which would reorder same-arrival messages from one sender.
+            return min(candidates, key=lambda m: (m.arrival, m.source, m.seq))
+
+        def consume(msg: Message) -> None:
+            q = mailbox[(msg.dest, msg.source, msg.tag)]
+            assert q and q[0] is msg
+            q.popleft()
+            if not q:
+                del mailbox[(msg.dest, msg.source, msg.tag)]
+
+        def deliver(state: _RankState, recv: Recv, msg: Message) -> None:
+            consume(msg)
+            wait_start = state.clock
+            completion = max(state.clock, msg.arrival) + self.machine.recv_busy(msg.nbytes)
+            state.stats.charge(recv.phase, completion - wait_start)
+            state.clock = completion
+            state.stats.messages_received += 1
+            state.stats.bytes_received += msg.nbytes
+            state.resume_value = msg
+            if trace_events is not None:
+                trace_events.append(TraceEvent(
+                    rank=state.rank_id, kind="recv", start=wait_start,
+                    end=completion, phase=recv.phase, peer=msg.source,
+                    tag=msg.tag, nbytes=msg.nbytes,
+                ))
+
+        def step(state: _RankState) -> None:
+            """Advance one rank until it blocks or finishes."""
+            nonlocal seq_counter, ops_interpreted
+            while True:
+                try:
+                    op = state.gen.send(state.resume_value)
+                except StopIteration as stop:
+                    state.status = _FINISHED
+                    state.value = stop.value
+                    return
+                state.resume_value = None
+                ops_interpreted += 1
+                if ops_interpreted > self.max_ops:
+                    raise EngineError(
+                        f"exceeded max_ops={self.max_ops}; runaway rank program?"
+                    )
+                if isinstance(op, Compute):
+                    if trace_events is not None and op.seconds > 0:
+                        trace_events.append(TraceEvent(
+                            rank=state.rank_id, kind="compute",
+                            start=state.clock, end=state.clock + op.seconds,
+                            phase=op.phase,
+                        ))
+                    state.clock += op.seconds
+                    state.stats.charge(op.phase, op.seconds)
+                elif isinstance(op, Send):
+                    self._validate_peer(op.dest)
+                    nbytes = op.wire_size()
+                    busy = self.machine.send_busy(nbytes)
+                    if trace_events is not None:
+                        trace_events.append(TraceEvent(
+                            rank=state.rank_id, kind="send",
+                            start=state.clock, end=state.clock + busy,
+                            phase=op.phase, peer=op.dest, tag=op.tag,
+                            nbytes=nbytes,
+                        ))
+                    state.clock += busy
+                    state.stats.charge(op.phase, busy)
+                    hops = self.topology.hops(state.rank_id, op.dest) if op.dest != state.rank_id else 0
+                    arrival = state.clock + self.machine.transit(nbytes, hops)
+                    msg = Message(
+                        source=state.rank_id,
+                        dest=op.dest,
+                        tag=op.tag,
+                        payload=op.payload,
+                        nbytes=nbytes,
+                        arrival=arrival,
+                        seq=seq_counter,
+                    )
+                    seq_counter += 1
+                    mailbox[(op.dest, state.rank_id, op.tag)].append(msg)
+                    state.stats.messages_sent += 1
+                    state.stats.bytes_sent += nbytes
+                    # Wake the destination if it is blocked on a match.  A
+                    # wildcard-source receiver is woken too: it re-enters the
+                    # resolution path, which stays conservative because the
+                    # resolution phase only runs when nothing else can.
+                    dst_state = states[op.dest]
+                    if dst_state.status == _BLOCKED:
+                        w = dst_state.waiting
+                        if w is not None and w.source == state.rank_id and (
+                            w.tag == ANY_TAG or w.tag == op.tag
+                        ):
+                            m = try_match(dst_state, w)
+                            if m is not None:
+                                dst_state.status = _RUNNABLE
+                                dst_state.waiting = None
+                                deliver(dst_state, w, m)
+                                ready.append(dst_state.rank_id)
+                elif isinstance(op, Recv):
+                    if op.source != ANY_SOURCE:
+                        self._validate_peer(op.source)
+                        msg = try_match(state, op)
+                        if msg is not None:
+                            deliver(state, op, msg)
+                            continue
+                    state.status = _BLOCKED
+                    state.waiting = op
+                    return
+                elif isinstance(op, Now):
+                    state.resume_value = state.clock
+                elif isinstance(op, Count):
+                    state.stats.count(op.name, op.amount)
+                else:
+                    raise EngineError(f"rank {state.rank_id} yielded non-op {op!r}")
+
+        while True:
+            while ready:
+                rid = ready.popleft()
+                state = states[rid]
+                if state.status != _RUNNABLE:
+                    continue
+                step(state)
+            # Resolution phase: everyone is blocked or finished.
+            blocked = [s for s in states if s.status == _BLOCKED]
+            if not blocked:
+                break
+            progressed = False
+            for state in blocked:
+                recv = state.waiting
+                assert recv is not None
+                msg = try_match(state, recv)
+                if msg is not None:
+                    state.status = _RUNNABLE
+                    state.waiting = None
+                    deliver(state, recv, msg)
+                    ready.append(state.rank_id)
+                    progressed = True
+                    break  # re-run the progress phase before matching more
+            if not progressed:
+                raise DeadlockError(
+                    {s.rank_id: (s.waiting.source, s.waiting.tag) for s in blocked}
+                )
+
+        undelivered = sum(len(q) for q in mailbox.values())
+        if undelivered:
+            # Leftover messages are not an error per se (MPI allows it), but
+            # they usually indicate a bug in generated schedules; record it.
+            for s in states:
+                s.stats.count("undelivered_messages", 0)
+            states[0].stats.count("undelivered_messages", undelivered)
+
+        if trace_events is not None:
+            for s_ in states:
+                trace_events.append(TraceEvent(
+                    rank=s_.rank_id, kind="finish", start=s_.clock, end=s_.clock
+                ))
+            trace_events.sort(key=lambda e: (e.start, e.rank))
+        result = RunResult(
+            nranks=self.nranks,
+            clocks=[s.clock for s in states],
+            stats=[s.stats for s in states],
+            values=[s.value for s in states],
+        )
+        result.trace = trace_events
+        return result
+
+    # --- helpers -------------------------------------------------------------
+
+    def _validate_peer(self, peer: int) -> None:
+        if not (0 <= peer < self.nranks):
+            raise CommunicationError(
+                f"peer rank {peer} outside world of size {self.nranks}"
+            )
+
+
+def run_spmd(
+    program: RankProgram,
+    nranks: int,
+    machine: MachineModel,
+    topology: Optional[Topology] = None,
+    args: Optional[List[Any]] = None,
+) -> RunResult:
+    """One-shot convenience wrapper around :class:`Engine`."""
+    engine = Engine(machine, topology=topology, nranks=nranks)
+    return engine.run(program, args=args)

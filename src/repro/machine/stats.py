@@ -1,0 +1,98 @@
+"""Per-rank timing and counter accounting.
+
+The paper reports *phase* times — "inspector time", "executor time", total
+— as observed on the parallel machine.  The engine therefore attributes
+every virtual-time charge to a named phase, and :class:`RunResult`
+aggregates per-rank phase clocks the same way the paper's instrumentation
+did (a phase's parallel time is the maximum over ranks).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class RankStats:
+    """Virtual-time and event accounting for a single rank."""
+
+    rank: int
+    phase_time: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    counters: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    def charge(self, phase: str, seconds: float) -> None:
+        self.phase_time[phase] += seconds
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def total_time(self) -> float:
+        return sum(self.phase_time.values())
+
+
+@dataclass
+class RunResult:
+    """Outcome of one SPMD run: per-rank stats, clocks, and return values.
+
+    ``trace`` holds :class:`repro.machine.trace.TraceEvent` records when
+    the engine ran with ``trace=True`` (None otherwise).
+    """
+
+    nranks: int
+    clocks: List[float]
+    stats: List[RankStats]
+    values: List[object]
+    trace: Optional[list] = None
+
+    @property
+    def makespan(self) -> float:
+        """Virtual completion time of the whole program (max rank clock)."""
+        return max(self.clocks) if self.clocks else 0.0
+
+    def phase_max(self, phase: str) -> float:
+        """Parallel time of a phase: the maximum charge over ranks.
+
+        This matches how the paper's tables report inspector/executor time
+        (all ranks run the phase concurrently; the slowest determines it).
+        """
+        return max((s.phase_time.get(phase, 0.0) for s in self.stats), default=0.0)
+
+    def phase_sum(self, phase: str) -> float:
+        """Aggregate work in a phase across all ranks (for efficiency calc)."""
+        return sum(s.phase_time.get(phase, 0.0) for s in self.stats)
+
+    def phases(self) -> List[str]:
+        names = set()
+        for s in self.stats:
+            names.update(s.phase_time)
+        return sorted(names)
+
+    def counter_sum(self, name: str) -> int:
+        return sum(s.counters.get(name, 0) for s in self.stats)
+
+    def counter_max(self, name: str) -> int:
+        return max((s.counters.get(name, 0) for s in self.stats), default=0)
+
+    def total_messages(self) -> int:
+        return sum(s.messages_sent for s in self.stats)
+
+    def total_bytes(self) -> int:
+        return sum(s.bytes_sent for s in self.stats)
+
+    def summary(self) -> str:
+        lines = [
+            f"ranks={self.nranks} makespan={self.makespan:.6f}s "
+            f"msgs={self.total_messages()} bytes={self.total_bytes()}"
+        ]
+        for phase in self.phases():
+            lines.append(
+                f"  phase {phase:<16} max={self.phase_max(phase):.6f}s "
+                f"sum={self.phase_sum(phase):.6f}s"
+            )
+        return "\n".join(lines)

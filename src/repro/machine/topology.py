@@ -1,0 +1,122 @@
+"""Interconnect topologies.
+
+The engine charges a per-hop transit latency for each message, so the
+topology's only job is to answer *how many hops* separate two nodes and who
+the physical neighbours of a node are.  Both evaluation machines of the
+paper are binary hypercubes; a 2-D mesh and a fully connected (crossbar)
+topology are provided for experiments and tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import TopologyError
+from repro.util.gray import hamming_distance, is_power_of_two, log2_exact
+
+
+class Topology:
+    """Abstract interconnect: node count, hop distances, neighbour lists."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise TopologyError(f"topology needs >= 1 node, got {size}")
+        self.size = int(size)
+
+    def hops(self, src: int, dst: int) -> int:
+        """Number of network hops between two nodes."""
+        raise NotImplementedError
+
+    def neighbors(self, node: int) -> List[int]:
+        """Directly connected nodes."""
+        raise NotImplementedError
+
+    def diameter(self) -> int:
+        """Maximum hop distance over all node pairs."""
+        raise NotImplementedError
+
+    def _check(self, node: int) -> None:
+        if not (0 <= node < self.size):
+            raise TopologyError(f"node {node} outside topology of size {self.size}")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(size={self.size})"
+
+
+class Hypercube(Topology):
+    """Binary d-cube: node ids are bit strings; hops = Hamming distance.
+
+    This is the interconnect of the NCUBE/7 (up to d=10) and iPSC/2
+    (up to d=7) used in the paper's evaluation.
+    """
+
+    def __init__(self, size: int):
+        if not is_power_of_two(size):
+            raise TopologyError(f"hypercube size must be a power of two, got {size}")
+        super().__init__(size)
+        self.dimension = log2_exact(size)
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src)
+        self._check(dst)
+        return hamming_distance(src, dst)
+
+    def neighbors(self, node: int) -> List[int]:
+        self._check(node)
+        return [node ^ (1 << d) for d in range(self.dimension)]
+
+    def diameter(self) -> int:
+        return self.dimension
+
+
+class Mesh2D(Topology):
+    """``rows x cols`` mesh without wraparound; hops = Manhattan distance."""
+
+    def __init__(self, rows: int, cols: int):
+        if rows < 1 or cols < 1:
+            raise TopologyError("mesh dimensions must be >= 1")
+        super().__init__(rows * cols)
+        self.rows, self.cols = int(rows), int(cols)
+
+    def _coords(self, node: int):
+        return divmod(node, self.cols)
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src)
+        self._check(dst)
+        r1, c1 = self._coords(src)
+        r2, c2 = self._coords(dst)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+    def neighbors(self, node: int) -> List[int]:
+        self._check(node)
+        r, c = self._coords(node)
+        out = []
+        if r > 0:
+            out.append(node - self.cols)
+        if r < self.rows - 1:
+            out.append(node + self.cols)
+        if c > 0:
+            out.append(node - 1)
+        if c < self.cols - 1:
+            out.append(node + 1)
+        return out
+
+    def diameter(self) -> int:
+        return (self.rows - 1) + (self.cols - 1)
+
+
+class FullyConnected(Topology):
+    """Crossbar: every pair one hop apart.  Useful as an idealised network."""
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src)
+        self._check(dst)
+        return 0 if src == dst else 1
+
+    def neighbors(self, node: int) -> List[int]:
+        self._check(node)
+        return [n for n in range(self.size) if n != node]
+
+    def diameter(self) -> int:
+        return 0 if self.size == 1 else 1

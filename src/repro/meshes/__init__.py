@@ -1,0 +1,13 @@
+"""Workload generators: meshes in the paper's adj/count/coef format."""
+
+from repro.meshes.regular import five_point_grid, seven_point_grid
+from repro.meshes.unstructured import random_unstructured_mesh
+from repro.meshes.partition import block_partition, coordinate_bisection
+
+__all__ = [
+    "five_point_grid",
+    "seven_point_grid",
+    "random_unstructured_mesh",
+    "block_partition",
+    "coordinate_bisection",
+]

@@ -1,0 +1,70 @@
+"""Mesh partitioners producing owner maps for ``Custom`` distributions.
+
+The paper defers "dynamic load balancing" to future work but its language
+supports user-defined distributions (§2.2); these partitioners supply
+them.  :func:`block_partition` is the trivial contiguous split;
+:func:`coordinate_bisection` is recursive coordinate bisection, the
+standard static decomposition for irregular meshes of the era.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def block_partition(n: int, nprocs: int) -> np.ndarray:
+    """Owner map equal to the block distribution (for cross-checks)."""
+    if nprocs < 1:
+        raise ValueError("need at least one processor")
+    block = -(-n // nprocs) if n else 0
+    return (np.arange(n, dtype=np.int64) // max(block, 1)).clip(0, nprocs - 1)
+
+
+def coordinate_bisection(points: np.ndarray, nprocs: int) -> np.ndarray:
+    """Recursive coordinate bisection of 2-d points into ``nprocs`` parts.
+
+    Splits the widest coordinate direction at the weighted median,
+    dividing processors (and hence load) proportionally; handles
+    non-power-of-two processor counts.  Returns an owner map usable with
+    :class:`repro.distributions.custom.Custom`.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must be (n, 2)")
+    if nprocs < 1:
+        raise ValueError("need at least one processor")
+    owners = np.zeros(points.shape[0], dtype=np.int64)
+
+    def split(idx: np.ndarray, first_proc: int, count: int) -> None:
+        if count == 1 or idx.size == 0:
+            owners[idx] = first_proc
+            return
+        left_procs = count // 2
+        frac = left_procs / count
+        pts = points[idx]
+        spans = pts.max(axis=0) - pts.min(axis=0) if idx.size else np.zeros(2)
+        axis = int(np.argmax(spans))
+        order = np.argsort(pts[:, axis], kind="stable")
+        cut = int(round(frac * idx.size))
+        split(idx[order[:cut]], first_proc, left_procs)
+        split(idx[order[cut:]], first_proc + left_procs, count - left_procs)
+
+    split(np.arange(points.shape[0], dtype=np.int64), 0, nprocs)
+    return owners
+
+
+def partition_imbalance(owners: np.ndarray, nprocs: int) -> float:
+    """Max part size over mean part size (1.0 = perfectly balanced)."""
+    counts = np.bincount(owners, minlength=nprocs).astype(float)
+    mean = counts.mean() if nprocs else 0.0
+    return float(counts.max() / mean) if mean else 1.0
+
+
+def edge_cut(adj: np.ndarray, count: np.ndarray, owners: np.ndarray) -> int:
+    """Number of mesh edges crossing partition boundaries (counted once)."""
+    n, width = adj.shape
+    live = np.arange(width)[None, :] < count[:, None]
+    src = np.repeat(np.arange(n, dtype=np.int64), count)
+    dst = adj[live]
+    cross = owners[src] != owners[dst]
+    return int(cross.sum()) // 2

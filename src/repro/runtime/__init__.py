@@ -1,0 +1,29 @@
+"""The run-time analysis machinery: inspector, executor, schedules, cache.
+
+This is the paper's core contribution (§3.3): before a data-dependent
+forall first runs, an *inspector* classifies every array reference as
+local or nonlocal, builds the ``in(p,q)`` receive sets as sorted arrays of
+contiguous-range records (the paper's Figure 5), routes them through the
+crystal router to derive the ``out(p,q)`` send sets, and caches the
+resulting :class:`~repro.runtime.schedule.CommSchedule`.  The *executor*
+then performs every forall execution as: send all → local iterations →
+receive all → nonlocal iterations (Figures 3 and 6).
+"""
+
+from repro.runtime.schedule import CommSchedule, RangeRecord
+from repro.runtime.translation import TranslationTable, EnumeratedTable
+from repro.runtime.inspector import run_inspector
+from repro.runtime.executor import run_executor
+from repro.runtime.cache import ScheduleCache
+from repro.runtime.redistribute import redistribute
+
+__all__ = [
+    "RangeRecord",
+    "CommSchedule",
+    "TranslationTable",
+    "EnumeratedTable",
+    "run_inspector",
+    "run_executor",
+    "ScheduleCache",
+    "redistribute",
+]

@@ -1,0 +1,68 @@
+"""Schedule caching across forall executions (paper §3.2).
+
+"Our run-time analysis takes advantage of this by computing the exec(p)
+and ref(p) sets only the first time they are needed and saving them for
+later loop executions.  This amortizes the cost of the run-time analysis
+over many repetitions of the forall."
+
+A schedule is valid while the *communication-determining* data is
+unchanged: the indirection tables and count arrays named by the forall's
+reads (changing the floating-point mesh values does not invalidate
+anything).  The cache therefore keys on the forall label and compares the
+stored version stamps of those arrays.  Invalidation is automatic: bump an
+array's version (any write through the driver API does) and the next
+execution re-inspects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.arrays.localview import LocalArray
+from repro.core.forall import Forall
+from repro.runtime.schedule import CommSchedule
+
+
+class ScheduleCache:
+    """Per-rank cache of inspected forall schedules."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._store: Dict[str, CommSchedule] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def lookup(self, forall: Forall, env: Dict[str, LocalArray]) -> Optional[CommSchedule]:
+        """Return a valid cached schedule, or None (miss / stale / disabled)."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        sched = self._store.get(forall.label)
+        if sched is None:
+            self.misses += 1
+            return None
+        for name, version in sched.versions.items():
+            local = env.get(name)
+            if local is None or local.version != version:
+                self.invalidations += 1
+                del self._store[forall.label]
+                return None
+        for name, dv in sched.dist_versions.items():
+            local = env.get(name)
+            if local is None or local.dist_version != dv:
+                self.invalidations += 1
+                del self._store[forall.label]
+                return None
+        self.hits += 1
+        return sched
+
+    def store(self, forall: Forall, schedule: CommSchedule) -> None:
+        if self.enabled:
+            self._store[forall.label] = schedule
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)

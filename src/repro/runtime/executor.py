@@ -1,0 +1,432 @@
+"""The executor: run one forall under a communication schedule.
+
+Follows the paper's Figure 3/6 structure exactly:
+
+1. **send** every ``out(p,q)`` block to its requester,
+2. **local iterations** — compute iterations whose references are all
+   local, overlapping with message transit,
+3. **receive** every ``in(p,q)`` block into the communication buffer,
+4. **nonlocal iterations** — compute the rest, resolving remote elements
+   through the O(log r) translation table (with the per-element locality
+   test the paper notes is needed "because even within the same iteration
+   of the forall, the reference old_a[adj[i,j]] may be sometimes local and
+   sometimes nonlocal"),
+5. commit writes (copy-in/copy-out: no write is visible to any read of
+   this forall execution).
+
+Host-side, gathers and kernels are vectorised NumPy over iteration
+batches; virtual time is charged from reference counts using the machine
+cost model, so the simulated cost profile matches the paper's per-element
+C implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arrays.localview import LocalArray
+from repro.comm.collectives import allreduce
+from repro.core.forall import (
+    AffineRead,
+    Forall,
+    IndirectOperand,
+    IndirectRead,
+)
+from repro.errors import InspectorError
+from repro.machine.api import Compute, Count, Rank, Recv, Send
+from repro.runtime.schedule import ArraySchedule, CommSchedule
+
+PHASE = "executor"
+
+# Tag space for executor data messages: disjoint from collective tags.
+_EXEC_TAG_BASE = 1 << 16
+
+
+def _dim0_coord(local: LocalArray) -> int:
+    dist = local.dist
+    pdim = dist.proc_dim_of[0]
+    if pdim is None:
+        return 0
+    return dist.procs.coords_of(local.rank)[pdim]
+
+
+class _GatherPlan:
+    """Resolved value sources for one read over one iteration batch."""
+
+    __slots__ = ("values", "n_local_refs", "n_remote_refs", "n_indirect_refs")
+
+    def __init__(self, values, n_local_refs: int, n_remote_refs: int,
+                 n_indirect_refs: int = 0):
+        self.values = values
+        self.n_local_refs = n_local_refs
+        self.n_remote_refs = n_remote_refs
+        self.n_indirect_refs = n_indirect_refs
+
+
+def _gather_affine(
+    read: AffineRead,
+    iters: np.ndarray,
+    env: Dict[str, LocalArray],
+    asched: ArraySchedule,
+    buffers: Dict[str, np.ndarray],
+) -> _GatherPlan:
+    arr = env[read.array]
+    elems = read.fn(iters)
+    dim0 = arr.dist.dims[0]
+    owners = np.asarray(dim0.owner(elems))
+    me = _dim0_coord(arr)
+    local_mask = owners == me
+    if arr.data.ndim == 1:
+        out = np.zeros(iters.shape, dtype=arr.data.dtype)
+    else:
+        out = np.zeros((iters.size,) + arr.data.shape[1:], dtype=arr.data.dtype)
+    if local_mask.any():
+        out[local_mask] = arr.data[np.asarray(dim0.to_local(elems[local_mask]))]
+    remote = ~local_mask
+    n_remote = int(remote.sum())
+    if n_remote:
+        offs = np.asarray(dim0.to_local(elems[remote]))
+        slots = asched.translation.lookup(owners[remote], offs)
+        out[remote] = buffers[read.array][slots]
+    return _GatherPlan(out, int(local_mask.sum()), n_remote)
+
+
+def _gather_indirect(
+    read: IndirectRead,
+    iters: np.ndarray,
+    env: Dict[str, LocalArray],
+    asched: ArraySchedule,
+    buffers: Dict[str, np.ndarray],
+) -> _GatherPlan:
+    arr = env[read.array]
+    table = env[read.table]
+    rows = table.get_rows(iters) + read.offset
+    if rows.ndim == 1:
+        rows = rows[:, None]
+    width = rows.shape[1]
+    if read.count is not None:
+        live_width = env[read.count].get_rows(iters).astype(np.int64)
+        live = np.arange(width)[None, :] < live_width[:, None]
+    else:
+        live_width = np.full(iters.shape, width, dtype=np.int64)
+        live = np.ones(rows.shape, dtype=bool)
+    dim0 = arr.dist.dims[0]
+    me = _dim0_coord(arr)
+    safe = np.where(live, rows, 0)
+    owners = np.asarray(dim0.owner(safe))
+    local_mask = (owners == me) & live
+    remote_mask = (owners != me) & live
+    values = np.zeros(rows.shape, dtype=arr.data.dtype)
+    if local_mask.any():
+        values[local_mask] = arr.data[
+            np.asarray(dim0.to_local(safe[local_mask]))
+        ]
+    n_remote = int(remote_mask.sum())
+    if n_remote:
+        offs = np.asarray(dim0.to_local(safe[remote_mask]))
+        slots = asched.translation.lookup(owners[remote_mask], offs)
+        values[remote_mask] = buffers[read.array][slots]
+    n_local = int(local_mask.sum())
+    return _GatherPlan(
+        IndirectOperand(values=values, counts=live_width),
+        n_local,
+        n_remote,
+        n_indirect_refs=n_local + n_remote,
+    )
+
+
+def _gather_batch(
+    forall: Forall,
+    iters: np.ndarray,
+    env: Dict[str, LocalArray],
+    schedule: CommSchedule,
+    buffers: Dict[str, np.ndarray],
+) -> Tuple[Dict[str, object], int, int, int]:
+    """Gather all read operands for a batch.
+
+    Returns ``(operands, n_local_refs, n_remote_refs, n_indirect_refs)``;
+    the last counts live elements of indirection reads, which is what
+    ``flops_per_ref`` is charged against (one multiply-add per mesh edge
+    in the Jacobi kernel, not per auxiliary coefficient read).
+    """
+    operands: Dict[str, object] = {}
+    n_local = n_remote = n_indirect = 0
+    for read in forall.reads:
+        asched = schedule.arrays[read.array]
+        if isinstance(read, AffineRead):
+            plan = _gather_affine(read, iters, env, asched, buffers)
+        else:
+            plan = _gather_indirect(read, iters, env, asched, buffers)
+        operands[read.operand_name()] = plan.values
+        n_local += plan.n_local_refs
+        n_remote += plan.n_remote_refs
+        n_indirect += plan.n_indirect_refs
+    return operands, n_local, n_remote, n_indirect
+
+
+def _apply_kernel(
+    forall: Forall,
+    iters: np.ndarray,
+    operands: Dict[str, object],
+) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+    """Run the kernel; returns ({array: values}, {reduction: contributions})."""
+    result = forall.kernel(iters, operands)
+    if not isinstance(result, dict):
+        if len(forall.writes) != 1 or forall.reductions:
+            raise InspectorError(
+                f"{forall.label}: kernel must return a dict for multiple "
+                "writes or reductions"
+            )
+        return {forall.writes[0].array: np.asarray(result)}, {}
+    writes = {}
+    for w in forall.writes:
+        if w.array not in result:
+            raise InspectorError(
+                f"{forall.label}: kernel returned no values for {w.array}"
+            )
+        writes[w.array] = np.asarray(result[w.array])
+    contribs = {}
+    for spec in forall.reductions:
+        if spec.name not in result:
+            raise InspectorError(
+                f"{forall.label}: kernel returned no contributions for "
+                f"reduction {spec.name!r}"
+            )
+        contribs[spec.name] = np.asarray(result[spec.name])
+    return writes, contribs
+
+
+def run_executor(
+    rank: Rank,
+    forall: Forall,
+    env: Dict[str, LocalArray],
+    schedule: CommSchedule,
+    tag_base: int,
+    combine_messages: bool = True,
+):
+    """Generator: execute one forall under ``schedule``.
+
+    ``tag_base`` must be identical on all ranks for this execution (the
+    caller keeps a per-rank counter that stays synchronised because every
+    rank executes the same forall sequence).
+
+    ``combine_messages`` merges all arrays' blocks for one peer into a
+    single message (the paper's §3.3: "Sorting by processor id also
+    allowed us to combine messages between the same two processors" with
+    "a symbol field identifying the array" — here the payload is keyed by
+    array name).  Disable for the message-combining ablation.
+    """
+    m = rank.machine
+
+    # --- 1. send out-blocks (old values: nothing written yet) -------------
+    array_order = sorted(schedule.arrays)
+    if combine_messages:
+        # One message per peer, carrying every array's blocks ("symbol
+        # field" = the array name keying each chunk).
+        combined_tag = _EXEC_TAG_BASE + tag_base
+        peer_payloads: Dict[int, Dict[str, np.ndarray]] = {}
+        for name in array_order:
+            asched = schedule.arrays[name]
+            arr = env[name]
+            for q in asched.peers_out():
+                chunks = [
+                    arr.data[r.low : r.high + 1]
+                    for r in asched.ranges_for_peer_out(q)
+                ]
+                payload = (
+                    np.concatenate(chunks) if len(chunks) > 1 else chunks[0].copy()
+                )
+                peer_payloads.setdefault(q, {})[name] = payload
+        for q in sorted(peer_payloads):
+            bundle = peer_payloads[q]
+            n_elems = sum(int(v.shape[0]) for v in bundle.values())
+            # Wire size: the data plus a small symbol field per array (the
+            # paper's in-message array identifier), not Python dict overhead.
+            nbytes = sum(v.nbytes for v in bundle.values()) + 8 * len(bundle)
+            yield Compute(m.copy_elem * n_elems, phase=PHASE)
+            yield Send(dest=q, payload=bundle, tag=combined_tag,
+                       nbytes=nbytes, phase=PHASE)
+            yield Count("executor_elems_sent", n_elems)
+    else:
+        for a_idx, name in enumerate(array_order):
+            asched = schedule.arrays[name]
+            arr = env[name]
+            tag = _EXEC_TAG_BASE + tag_base + a_idx
+            for q in asched.peers_out():
+                chunks = [
+                    arr.data[r.low : r.high + 1]
+                    for r in asched.ranges_for_peer_out(q)
+                ]
+                payload = (
+                    np.concatenate(chunks) if len(chunks) > 1 else chunks[0].copy()
+                )
+                yield Compute(m.copy_elem * payload.shape[0], phase=PHASE)
+                yield Send(dest=q, payload=payload, tag=tag, phase=PHASE)
+                yield Count("executor_elems_sent", int(payload.shape[0]))
+
+    # --- snapshot read-write overlap for copy-in/copy-out ----------------------
+    # Reads gather from arr.data; if a read array is also written we must
+    # gather *before* committing writes.  We gather everything first and
+    # commit last, so a snapshot is only needed defensively for buffers
+    # already sent (done above).  Nothing to do here; order guarantees it.
+
+    # --- 2. local iterations ------------------------------------------------
+    buffers: Dict[str, np.ndarray] = {
+        name: np.zeros(
+            (schedule.arrays[name].buffer_len,) + env[name].data.shape[1:],
+            dtype=env[name].data.dtype,
+        )
+        for name in array_order
+    }
+    exec_local = schedule.exec_local
+    pending_writes: List[Tuple[np.ndarray, Dict[str, np.ndarray]]] = []
+    partials: Dict[str, float] = {
+        spec.name: spec.identity for spec in forall.reductions
+    }
+
+    def fold_contributions(contribs: Dict[str, np.ndarray]) -> None:
+        for spec in forall.reductions:
+            vec = contribs[spec.name]
+            if vec.size == 0:
+                continue
+            if spec.op == "sum":
+                batch = float(vec.sum())
+            elif spec.op == "max":
+                batch = float(vec.max())
+            else:
+                batch = float(vec.min())
+            partials[spec.name] = spec.fn(partials[spec.name], batch)
+
+    live_refs_local = 0
+    if exec_local.size:
+        operands, n_loc, n_rem, n_ind = _gather_batch(
+            forall, exec_local, env, schedule, buffers
+        )
+        if n_rem:
+            raise InspectorError(
+                f"{forall.label}: schedule marked iterations local but "
+                f"{n_rem} references resolve remotely (stale schedule?)"
+            )
+        live_refs_local = n_loc
+        out_vals, contribs = _apply_kernel(forall, exec_local, operands)
+        pending_writes.append((exec_local, out_vals))
+        fold_contributions(contribs)
+        cost = (
+            exec_local.size * m.iter_base
+            + n_loc * m.ref_local
+            + n_ind * forall.flops_per_ref * m.flop
+            + exec_local.size * forall.flops_per_iter * m.flop
+        )
+        yield Compute(cost, phase=PHASE)
+
+    # --- 3. receive in-blocks ------------------------------------------------
+    def unpack(name: str, q: int, data: np.ndarray) -> int:
+        asched = schedule.arrays[name]
+        pos = 0
+        for r in asched.ranges_for_peer_in(q):
+            buffers[name][r.buffer_start : r.buffer_start + r.count] = data[
+                pos : pos + r.count
+            ]
+            pos += r.count
+        if pos != data.shape[0]:
+            raise InspectorError(
+                f"{forall.label}: message from {q} for {name} carried "
+                f"{data.shape[0]} elements, schedule expects {pos}"
+            )
+        return pos
+
+    if combine_messages:
+        peers_in = sorted(
+            {q for name in array_order for q in schedule.arrays[name].peers_in()}
+        )
+        combined_tag = _EXEC_TAG_BASE + tag_base
+        for q in peers_in:
+            msg = yield Recv(source=q, tag=combined_tag, phase=PHASE)
+            total = 0
+            for name, data in msg.payload.items():
+                total += unpack(name, q, data)
+            yield Compute(m.copy_elem * total, phase=PHASE)
+            yield Count("executor_elems_recv", total)
+    else:
+        for a_idx, name in enumerate(array_order):
+            asched = schedule.arrays[name]
+            tag = _EXEC_TAG_BASE + tag_base + a_idx
+            for q in asched.peers_in():
+                msg = yield Recv(source=q, tag=tag, phase=PHASE)
+                pos = unpack(name, q, msg.payload)
+                yield Compute(m.copy_elem * pos, phase=PHASE)
+                yield Count("executor_elems_recv", pos)
+
+    # --- 4. nonlocal iterations ----------------------------------------------
+    exec_nonlocal = schedule.exec_nonlocal
+    live_refs_remote = 0
+    if exec_nonlocal.size:
+        operands, n_loc, n_rem, n_ind = _gather_batch(
+            forall, exec_nonlocal, env, schedule, buffers
+        )
+        live_refs_remote = n_rem
+        out_vals, contribs = _apply_kernel(forall, exec_nonlocal, operands)
+        pending_writes.append((exec_nonlocal, out_vals))
+        fold_contributions(contribs)
+        # Every reference in the nonlocal loop pays the locality test;
+        # remote ones additionally pay the O(log r) search — unless the
+        # schedule enumerates every element (Saltz-style), where a remote
+        # access is two plain references (table probe + buffer load).
+        max_ranges = max(
+            (schedule.arrays[r.array].num_in_ranges() for r in forall.reads),
+            default=0,
+        )
+        if schedule.translation_kind == "enumerated":
+            per_remote = 2.0 * m.ref_local
+        else:
+            per_remote = m.search_cost(max(max_ranges, 1))
+        cost = (
+            exec_nonlocal.size * m.iter_base
+            + n_loc * m.ref_local
+            + n_rem * per_remote
+            + n_ind * forall.flops_per_ref * m.flop
+            + exec_nonlocal.size * forall.flops_per_iter * m.flop
+        )
+        yield Compute(cost, phase=PHASE)
+        yield Count("executor_remote_refs", n_rem)
+
+    # --- 5. commit writes (copy-out) ---------------------------------------------
+    n_written = 0
+    written_arrays = set()
+    for iters, outputs in pending_writes:
+        for w in forall.writes:
+            arr = env[w.array]
+            targets = w.fn(iters)
+            arr.set_rows(targets, outputs[w.array])
+            written_arrays.add(w.array)
+            n_written += iters.size
+    # Bump versions so schedules depending on written arrays re-inspect.
+    for name in written_arrays:
+        env[name].version += 1
+    if n_written:
+        yield Compute(m.ref_local * n_written, phase=PHASE)
+    yield Count("executor_iters", schedule.num_exec())
+    yield Count("executor_local_refs", live_refs_local)
+
+    # --- 6. global reductions (recursive doubling, charged like any
+    # other executor communication) -----------------------------------------
+    if not forall.reductions:
+        return None
+    # One flop per contribution folded locally.
+    n_contrib = schedule.num_exec() * len(forall.reductions)
+    if n_contrib:
+        yield Compute(m.flop * n_contrib, phase=PHASE)
+    results: Dict[str, float] = {}
+    for r_idx, spec in enumerate(forall.reductions):
+        reduced = yield from allreduce(
+            rank,
+            partials[spec.name],
+            spec.fn,
+            tag=(tag_base + r_idx) % 1000,
+            phase=PHASE,
+            op_cost=m.flop,
+        )
+        results[spec.name] = reduced
+    return results

@@ -1,0 +1,194 @@
+"""Communication schedules: the paper's Figure 5 data structure.
+
+The ``in(p,q)`` and ``out(p,q)`` sets are represented as dynamically-sized
+arrays of range records::
+
+    record
+        from_proc : integer;   -- sending processor
+        to_proc   : integer;   -- receiving processor
+        low, high : integer;   -- bounds of the block (offsets from the
+                                  base of the array on the home processor)
+        buffer    : ^real;     -- pointer into the communications buffer
+
+exactly as in the paper: records are sorted on the peer processor id with
+``low`` as secondary key, adjacent ranges are coalesced "to minimize the
+number of records needed", and the ``buffer`` field (here: an offset into
+a NumPy buffer) is used on the receive side to locate communicated
+elements.  When several arrays share one schedule a symbol field becomes
+the secondary key (§3.3); this implementation keeps one schedule per
+referenced array, which is equivalent and simpler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InspectorError
+from repro.runtime.translation import EnumeratedTable, TranslationTable
+
+
+@dataclass(frozen=True)
+class RangeRecord:
+    """One contiguous block of array elements to communicate.
+
+    ``low``/``high`` are inclusive *local offsets on the home (sending)
+    processor*, per the paper ("these fields are actually the offsets from
+    the base of the array on the home processor").  ``buffer_start`` is
+    the block's position in the receiver's communication buffer.
+    """
+
+    from_proc: int
+    to_proc: int
+    low: int
+    high: int
+    buffer_start: int = -1
+
+    def __post_init__(self):
+        if self.low > self.high:
+            raise InspectorError(f"empty range record {self.low}..{self.high}")
+
+    @property
+    def count(self) -> int:
+        return self.high - self.low + 1
+
+
+def coalesce_ranges(
+    peer_offsets: Dict[int, np.ndarray],
+    me: int,
+    incoming: bool,
+) -> List[RangeRecord]:
+    """Build sorted, coalesced records from per-peer offset arrays.
+
+    ``peer_offsets[q]`` holds the (home-processor-local) offsets of the
+    elements exchanged with peer ``q``.  Offsets are deduplicated and
+    sorted, adjacent offsets merge into one record.  Records are ordered
+    by (peer, low) — the paper's primary/secondary sort keys — and
+    ``buffer_start`` is assigned cumulatively for incoming records.
+    """
+    records: List[RangeRecord] = []
+    buf = 0
+    for q in sorted(peer_offsets):
+        offs = np.unique(np.asarray(peer_offsets[q], dtype=np.int64))
+        if offs.size == 0:
+            continue
+        breaks = np.nonzero(np.diff(offs) > 1)[0]
+        starts = np.concatenate(([0], breaks + 1))
+        ends = np.concatenate((breaks, [offs.size - 1]))
+        for s, e in zip(starts, ends):
+            low, high = int(offs[s]), int(offs[e])
+            if incoming:
+                rec = RangeRecord(from_proc=q, to_proc=me, low=low, high=high,
+                                  buffer_start=buf)
+                buf += high - low + 1
+            else:
+                rec = RangeRecord(from_proc=me, to_proc=q, low=low, high=high)
+            records.append(rec)
+    return records
+
+
+@dataclass
+class ArraySchedule:
+    """Communication plan for one referenced array on one rank.
+
+    ``in_records``: blocks this rank receives (sorted by from_proc, low).
+    ``out_records``: blocks this rank sends (sorted by to_proc, low).
+    ``translation``: resolves (home_proc, home_offset) pairs to positions
+    in the receive buffer.
+    ``buffer_len``: total elements received.
+    """
+
+    array: str
+    in_records: List[RangeRecord] = field(default_factory=list)
+    out_records: List[RangeRecord] = field(default_factory=list)
+    translation: Optional[TranslationTable] = None
+    buffer_len: int = 0
+
+    def finalize(self) -> None:
+        """Build the translation table from the (already sorted) in records."""
+        self.buffer_len = sum(r.count for r in self.in_records)
+        self.translation = TranslationTable.from_records(self.in_records)
+
+    def to_enumerated(self) -> None:
+        """Swap the sorted-range table for a full enumeration (Saltz, §5)."""
+        self.translation = EnumeratedTable.from_records(self.in_records)
+
+    def peers_in(self) -> List[int]:
+        return sorted({r.from_proc for r in self.in_records})
+
+    def peers_out(self) -> List[int]:
+        return sorted({r.to_proc for r in self.out_records})
+
+    def ranges_for_peer_out(self, q: int) -> List[RangeRecord]:
+        return [r for r in self.out_records if r.to_proc == q]
+
+    def ranges_for_peer_in(self, q: int) -> List[RangeRecord]:
+        return [r for r in self.in_records if r.from_proc == q]
+
+    def num_in_ranges(self) -> int:
+        return len(self.in_records)
+
+
+@dataclass
+class CommSchedule:
+    """The complete cached result of inspecting one forall on one rank.
+
+    Contents (paper Figure 6's ``local_list``/``nonlocal_list``/
+    ``recv_list``/``send_list``):
+
+    * ``exec_local``: global iteration indices whose references are all
+      local (``exec(p) ∩ ref(p)`` across references),
+    * ``exec_nonlocal``: iterations touching at least one remote element
+      (``exec(p) − ref(p)``),
+    * ``arrays``: per-referenced-array :class:`ArraySchedule`,
+    * ``versions``: versions of the communication-determining arrays at
+      inspection time (cache invalidation key),
+    * counters used by the executor's cost charging.
+    """
+
+    label: str
+    rank: int
+    exec_local: np.ndarray
+    exec_nonlocal: np.ndarray
+    arrays: Dict[str, ArraySchedule] = field(default_factory=dict)
+    versions: Dict[str, int] = field(default_factory=dict)
+    #: distribution generation of every referenced array at build time —
+    #: a redistribute invalidates the whole schedule (exec/ref/in/out all
+    #: depend on the layout, not just the indirection values)
+    dist_versions: Dict[str, int] = field(default_factory=dict)
+    built_by: str = "inspector"  # or "compile-time"
+    translation_kind: str = "ranges"  # or "enumerated"
+
+    def enumerate_translations(self) -> None:
+        """Convert all translation tables to enumerated form."""
+        for a in self.arrays.values():
+            a.to_enumerated()
+        self.translation_kind = "enumerated"
+
+    def total_in_elements(self) -> int:
+        return sum(a.buffer_len for a in self.arrays.values())
+
+    def total_out_elements(self) -> int:
+        return sum(r.count for a in self.arrays.values() for r in a.out_records)
+
+    def total_messages_out(self) -> int:
+        return sum(len(a.peers_out()) for a in self.arrays.values())
+
+    def num_exec(self) -> int:
+        return int(self.exec_local.size + self.exec_nonlocal.size)
+
+    def describe(self) -> str:
+        lines = [
+            f"schedule {self.label} on rank {self.rank} ({self.built_by}):",
+            f"  local iters={self.exec_local.size} nonlocal iters={self.exec_nonlocal.size}",
+        ]
+        for name, a in sorted(self.arrays.items()):
+            lines.append(
+                f"  array {name}: recv {a.buffer_len} elems in "
+                f"{len(a.in_records)} ranges from {a.peers_in()}; "
+                f"send {sum(r.count for r in a.out_records)} elems in "
+                f"{len(a.out_records)} ranges to {a.peers_out()}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The paper's evaluation is presented as fixed-width tables (its Figures
+7–10).  ``render_table`` reproduces that presentation so benchmark output
+can be eyeballed against the paper directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_seconds(value: float) -> str:
+    """Seconds with two decimals, as in the paper's tables."""
+    return f"{value:.2f}"
+
+
+def format_percent(value: float) -> str:
+    """A ratio rendered as a percentage with one decimal, e.g. ``11.5%``."""
+    return f"{100.0 * value:.1f}%"
+
+
+def _to_str(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> str:
+    """Render a titled fixed-width table as a string."""
+    str_rows: List[List[str]] = [[_to_str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

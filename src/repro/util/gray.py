@@ -1,0 +1,68 @@
+"""Binary-reflected Gray codes and hypercube helpers.
+
+Both evaluation machines of the paper (NCUBE/7, iPSC/2) are hypercubes.
+Gray codes give the standard embedding of rings and meshes into a
+hypercube such that neighbouring grid points sit on physically adjacent
+nodes — the embedding the Kali runtime relied on when laying processor
+arrays (paper §2.1) onto the physical cube.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def gray_encode(n: int) -> int:
+    """The ``n``-th binary-reflected Gray code."""
+    if n < 0:
+        raise ValueError("gray_encode requires n >= 0")
+    return n ^ (n >> 1)
+
+
+def gray_decode(g: int) -> int:
+    """Inverse of :func:`gray_encode`."""
+    if g < 0:
+        raise ValueError("gray_decode requires g >= 0")
+    n = 0
+    while g:
+        n ^= g
+        g >>= 1
+    return n
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of differing bits — hop count between hypercube nodes."""
+    return bin(a ^ b).count("1")
+
+
+def hypercube_neighbors(node: int, dimension: int) -> List[int]:
+    """All nodes one bit-flip away from ``node`` in a ``dimension``-cube."""
+    if node < 0 or node >= (1 << dimension):
+        raise ValueError(f"node {node} outside {dimension}-cube")
+    return [node ^ (1 << d) for d in range(dimension)]
+
+
+def is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2_exact(n: int) -> int:
+    """``log2(n)`` for exact powers of two; raises otherwise."""
+    if not is_power_of_two(n):
+        raise ValueError(f"{n} is not a power of two")
+    return n.bit_length() - 1
+
+
+def ring_embedding(length: int, dimension: int) -> List[int]:
+    """Embed a ring of ``length`` nodes into a ``dimension``-cube.
+
+    Returns ``pos -> node`` using the Gray-code order, so successive ring
+    positions are physical neighbours.  ``length`` must not exceed the cube
+    size and must be a power of two for the wraparound edge to be a single
+    hop (the classic constraint); other lengths are allowed but the closing
+    edge may be longer.
+    """
+    size = 1 << dimension
+    if length > size:
+        raise ValueError(f"ring of {length} does not fit in {dimension}-cube")
+    return [gray_encode(i) for i in range(length)]

@@ -1,0 +1,242 @@
+"""Exact integer set algebra over unions of closed intervals.
+
+The compile-time analysis of the paper manipulates *sets of iteration
+indices* and *sets of array elements* — ``exec(p)``, ``ref(p)``,
+``in(p,q)``, ``out(p,q)`` (paper §3.1).  For block distributions and affine
+subscripts these sets are finite unions of integer intervals, which this
+module represents canonically as a sorted tuple of disjoint, non-adjacent
+``(lo, hi)`` pairs (both bounds inclusive).
+
+The representation is deliberately exact (no floating point, no
+approximation): tests assert set identities such as
+``in(p,q) == out(q,p)`` and the analysis must honour them to the element.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+Interval = Tuple[int, int]
+
+
+def _normalize(pairs: Iterable[Interval]) -> Tuple[Interval, ...]:
+    """Sort, drop empty intervals, and merge overlapping/adjacent ones."""
+    items: List[Interval] = []
+    for lo, hi in pairs:
+        lo, hi = int(lo), int(hi)
+        if lo <= hi:
+            items.append((lo, hi))
+    items.sort()
+    merged: List[Interval] = []
+    for lo, hi in items:
+        if merged and lo <= merged[-1][1] + 1:
+            prev_lo, prev_hi = merged[-1]
+            merged[-1] = (prev_lo, max(prev_hi, hi))
+        else:
+            merged.append((lo, hi))
+    return tuple(merged)
+
+
+class IntervalSet:
+    """An immutable set of integers stored as disjoint closed intervals.
+
+    Supports the usual set algebra (``|``, ``&``, ``-``), translation by a
+    constant (``shift``), affine preimages (``affine_preimage``), and
+    conversion to/from explicit index arrays.
+    """
+
+    __slots__ = ("_ivals",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()):
+        self._ivals = _normalize(intervals)
+
+    # --- constructors --------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        return cls(())
+
+    @classmethod
+    def range(cls, lo: int, hi: int) -> "IntervalSet":
+        """The interval ``[lo, hi]`` inclusive; empty when ``lo > hi``."""
+        return cls(((lo, hi),))
+
+    @classmethod
+    def point(cls, value: int) -> "IntervalSet":
+        return cls(((value, value),))
+
+    @classmethod
+    def from_indices(cls, indices: Sequence[int]) -> "IntervalSet":
+        """Build from an arbitrary (possibly unsorted) collection of ints."""
+        arr = np.unique(np.asarray(list(indices), dtype=np.int64))
+        if arr.size == 0:
+            return cls.empty()
+        # Split wherever consecutive values differ by more than one.
+        breaks = np.nonzero(np.diff(arr) > 1)[0]
+        starts = np.concatenate(([0], breaks + 1))
+        ends = np.concatenate((breaks, [arr.size - 1]))
+        return cls((int(arr[s]), int(arr[e])) for s, e in zip(starts, ends))
+
+    # --- basic protocol --------------------------------------------------
+
+    @property
+    def intervals(self) -> Tuple[Interval, ...]:
+        return self._ivals
+
+    def __len__(self) -> int:
+        return sum(hi - lo + 1 for lo, hi in self._ivals)
+
+    def __bool__(self) -> bool:
+        return bool(self._ivals)
+
+    def __iter__(self) -> Iterator[int]:
+        for lo, hi in self._ivals:
+            yield from range(lo, hi + 1)
+
+    def __contains__(self, value: int) -> bool:
+        value = int(value)
+        # Binary search over interval starts.
+        lo_idx, hi_idx = 0, len(self._ivals)
+        while lo_idx < hi_idx:
+            mid = (lo_idx + hi_idx) // 2
+            lo, hi = self._ivals[mid]
+            if value < lo:
+                hi_idx = mid
+            elif value > hi:
+                lo_idx = mid + 1
+            else:
+                return True
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._ivals == other._ivals
+
+    def __hash__(self) -> int:
+        return hash(self._ivals)
+
+    def __repr__(self) -> str:
+        if not self._ivals:
+            return "IntervalSet(empty)"
+        parts = ", ".join(f"{lo}..{hi}" for lo, hi in self._ivals)
+        return f"IntervalSet({parts})"
+
+    # --- set algebra ------------------------------------------------------
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        return IntervalSet(self._ivals + other._ivals)
+
+    __or__ = union
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        out: List[Interval] = []
+        a, b = self._ivals, other._ivals
+        i = j = 0
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if lo <= hi:
+                out.append((lo, hi))
+            if a[i][1] < b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet(out)
+
+    __and__ = intersection
+
+    def difference(self, other: "IntervalSet") -> "IntervalSet":
+        out: List[Interval] = []
+        for lo, hi in self._ivals:
+            cur = lo
+            for olo, ohi in other._ivals:
+                if ohi < cur:
+                    continue
+                if olo > hi:
+                    break
+                if olo > cur:
+                    out.append((cur, olo - 1))
+                cur = max(cur, ohi + 1)
+                if cur > hi:
+                    break
+            if cur <= hi:
+                out.append((cur, hi))
+        return IntervalSet(out)
+
+    __sub__ = difference
+
+    def isdisjoint(self, other: "IntervalSet") -> bool:
+        return not self.intersection(other)
+
+    def issubset(self, other: "IntervalSet") -> bool:
+        return not self.difference(other)
+
+    # --- arithmetic transforms -------------------------------------------
+
+    def shift(self, offset: int) -> "IntervalSet":
+        """Translate every element by ``offset``."""
+        offset = int(offset)
+        return IntervalSet((lo + offset, hi + offset) for lo, hi in self._ivals)
+
+    def affine_image(self, a: int, b: int) -> "IntervalSet":
+        """The image ``{a*i + b : i in self}`` for integer ``a != 0``.
+
+        For ``|a| > 1`` the image is not contiguous; it is materialised
+        element-wise, so this is intended for the moderate set sizes that
+        occur in compile-time analysis.
+        """
+        a, b = int(a), int(b)
+        if a == 0:
+            raise ValueError("affine_image requires a != 0")
+        if a == 1:
+            return self.shift(b)
+        if a == -1:
+            return IntervalSet((-hi + b, -lo + b) for lo, hi in self._ivals)
+        return IntervalSet.from_indices([a * i + b for i in self])
+
+    def affine_preimage(self, a: int, b: int) -> "IntervalSet":
+        """The preimage ``{i : a*i + b in self}`` for integer ``a != 0``.
+
+        This is the workhorse of the paper's set formulation:
+        ``ref(p) = g⁻¹(local(p))`` with ``g(i) = a*i + b``.
+        Unlike :meth:`affine_image`, the preimage of an interval is always
+        an interval (those ``i`` with ``lo <= a*i+b <= hi``), so this stays
+        in closed form for any ``a``.
+        """
+        a, b = int(a), int(b)
+        if a == 0:
+            raise ValueError("affine_preimage requires a != 0")
+        out: List[Interval] = []
+        for lo, hi in self._ivals:
+            # Solve lo <= a*i + b <= hi for integer i.
+            if a > 0:
+                ilo = -((-(lo - b)) // a)  # ceil((lo-b)/a)
+                ihi = (hi - b) // a        # floor((hi-b)/a)
+            else:
+                ilo = -((-(hi - b)) // a)  # ceil((hi-b)/a) with a<0
+                ihi = (lo - b) // a        # floor((lo-b)/a) with a<0
+            if ilo <= ihi:
+                out.append((ilo, ihi))
+        return IntervalSet(out)
+
+    # --- conversions -------------------------------------------------------
+
+    def to_array(self) -> np.ndarray:
+        """Materialise as a sorted ``int64`` NumPy array."""
+        if not self._ivals:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([np.arange(lo, hi + 1, dtype=np.int64) for lo, hi in self._ivals])
+
+    def bounds(self) -> Interval:
+        """The smallest ``(lo, hi)`` covering the set; raises when empty."""
+        if not self._ivals:
+            raise ValueError("empty IntervalSet has no bounds")
+        return self._ivals[0][0], self._ivals[-1][1]
+
+    def num_ranges(self) -> int:
+        """How many contiguous runs the set contains (the ``r`` of the
+        paper's O(log r) search complexity discussion)."""
+        return len(self._ivals)

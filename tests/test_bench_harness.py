@@ -1,0 +1,135 @@
+"""Tests for the benchmark harness drivers and the 3-d grid workload."""
+
+import numpy as np
+import pytest
+
+from repro.apps.jacobi import build_jacobi
+from repro.bench import calibration as cal
+from repro.bench.experiments import (
+    ExperimentRow,
+    caching_ablation,
+    processor_scaling,
+    single_processor_executor_time,
+    size_scaling,
+)
+from repro.bench.tables import overhead_table, processor_table, size_table
+from repro.machine.cost import IDEAL, IPSC2, NCUBE7
+from repro.meshes.regular import five_point_grid, reference_sweep, seven_point_grid
+
+
+class TestSevenPointGrid:
+    def test_counts(self):
+        mesh = seven_point_grid(3, 4, 5)
+        assert mesh.n == 60 and mesh.width == 6
+        # corners 3, interior 6
+        assert mesh.count.min() == 3 and mesh.count.max() == 6
+
+    def test_adjacency_symmetric(self):
+        mesh = seven_point_grid(3, 3, 3)
+        edges = set()
+        for i in range(mesh.n):
+            for j in range(mesh.count[i]):
+                edges.add((i, int(mesh.adj[i, j])))
+        assert all((b, a) in edges for a, b in edges)
+
+    def test_degenerate_dimensions_match_2d(self):
+        """nz=1 reduces to the five-point grid's adjacency counts."""
+        m3 = seven_point_grid(6, 5, 1)
+        m2 = five_point_grid(5, 6)  # rows=ny, cols=nx with x-major numbering
+        np.testing.assert_array_equal(np.sort(m3.count), np.sort(m2.count))
+
+    def test_jacobi_on_3d_grid_matches_oracle(self, rng):
+        mesh = seven_point_grid(4, 4, 4)
+        init = rng.random(mesh.n)
+        prog = build_jacobi(mesh, 8, machine=IDEAL, initial=init)
+        prog.run(sweeps=3)
+        ref = init.copy()
+        for _ in range(3):
+            ref = reference_sweep(mesh, ref)
+        np.testing.assert_allclose(prog.solution, ref)
+
+    def test_3d_has_more_boundary_traffic_than_2d(self):
+        """Same node count, higher connectivity => more elements exchanged
+        (the paper's §4 remark about unstructured grids, in 3-d form)."""
+        m2 = five_point_grid(16, 16)
+        m3 = seven_point_grid(16, 4, 4)
+        r2 = build_jacobi(m2, 8, machine=NCUBE7).run(sweeps=2)
+        r3 = build_jacobi(m3, 8, machine=NCUBE7).run(sweeps=2)
+        e2 = r2.engine.counter_sum("executor_elems_sent")
+        e3 = r3.engine.counter_sum("executor_elems_sent")
+        assert e3 > e2
+
+
+class TestExperimentDrivers:
+    def test_processor_scaling_rows(self):
+        rows = processor_scaling(NCUBE7, [2, 4], mesh_side=16, sweeps=10)
+        assert [r.key for r in rows] == [2, 4]
+        for r in rows:
+            assert r.total == pytest.approx(r.executor + r.inspector)
+            assert 0 <= r.overhead < 1
+
+    def test_size_scaling_rows_have_speedup(self):
+        rows = size_scaling(IPSC2, 4, mesh_sides=[16, 32], sweeps=10)
+        assert all(r.speedup is not None and r.speedup > 0 for r in rows)
+        assert rows[0].key == 16 and rows[1].key == 32
+
+    def test_single_processor_baseline_positive(self):
+        mesh = five_point_grid(16, 16)
+        t = single_processor_executor_time(mesh, NCUBE7, sweeps=10)
+        assert t > 0
+
+    def test_caching_ablation_rows(self):
+        rows = caching_ablation(NCUBE7, 4, [1, 5], mesh_side=16)
+        by = {r.key: r.values for r in rows}
+        assert by[1]["ratio"] == pytest.approx(1.0, rel=0.02)
+        assert by[5]["ratio"] > by[1]["ratio"]
+
+    def test_measured_sweeps_extrapolation_consistent(self):
+        """Extrapolated executor time matches a fully-measured run."""
+        full = processor_scaling(IPSC2, [4], mesh_side=16, sweeps=12,
+                                 measured_sweeps=12)[0]
+        extra = processor_scaling(IPSC2, [4], mesh_side=16, sweeps=12,
+                                  measured_sweeps=3)[0]
+        assert extra.executor == pytest.approx(full.executor, rel=0.02)
+        assert extra.inspector == pytest.approx(full.inspector, rel=1e-9)
+
+
+class TestTableRendering:
+    def test_processor_table_includes_paper_columns(self):
+        rows = [ExperimentRow(key=2, total=10.0, executor=9.0, inspector=1.0,
+                              overhead=0.1)]
+        text = processor_table("T", rows, {2: (11.0, 10.0, 1.0)})
+        assert "(paper)" in text and "11.00" in text and "10.1%" not in text
+
+    def test_size_table_row(self):
+        rows = [ExperimentRow(key=64, total=5.0, executor=4.0, inspector=1.0,
+                              overhead=0.2, speedup=12.5)]
+        text = size_table("S", rows, {64: (5.0, 4.0, 1.0, 12.0)})
+        assert "64x64" in text and "12.5" in text and "12.0" in text
+
+    def test_overhead_table(self):
+        rows = [ExperimentRow(key=8, total=2.0, executor=1.0, inspector=1.0,
+                              overhead=0.5)]
+        text = overhead_table("O", rows)
+        assert "50.0%" in text
+
+    def test_missing_paper_cell_renders_nan(self):
+        rows = [ExperimentRow(key=3, total=1.0, executor=0.9, inspector=0.1,
+                              overhead=0.1)]
+        text = processor_table("T", rows, {})
+        assert "nan" in text
+
+
+class TestCalibrationData:
+    def test_reference_tables_complete(self):
+        assert set(cal.PAPER_NCUBE_PROCS) == set(cal.NCUBE_PROC_COUNTS)
+        assert set(cal.PAPER_IPSC_PROCS) == set(cal.IPSC_PROC_COUNTS)
+        assert set(cal.PAPER_NCUBE_SIZES) == set(cal.MESH_SIDES)
+        assert set(cal.PAPER_IPSC_SIZES) == set(cal.MESH_SIDES)
+
+    def test_paper_totals_are_consistent(self):
+        """total == executor + inspector in the transcribed tables (to the
+        paper's own rounding)."""
+        for table in (cal.PAPER_NCUBE_PROCS, cal.PAPER_IPSC_PROCS):
+            for total, executor, inspector in table.values():
+                assert total == pytest.approx(executor + inspector, abs=0.05)

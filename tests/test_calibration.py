@@ -1,0 +1,69 @@
+"""Fast calibration spot-checks: the simulated machines reproduce the
+paper's measurements at selected table cells.
+
+The full tables are regenerated (and band-asserted on every cell) by the
+benchmark suite; these tests pick a handful of representative cells so
+that plain ``pytest tests/`` also guards the calibration, in seconds.
+"""
+
+import pytest
+
+from repro.apps.jacobi import build_jacobi
+from repro.bench import calibration as cal
+from repro.machine.cost import IPSC2, NCUBE7
+from repro.meshes.regular import five_point_grid
+
+
+def measure(machine, nprocs, side=128, sweeps=2, scale_to=100):
+    mesh = five_point_grid(side, side)
+    res = build_jacobi(mesh, nprocs, machine=machine).run(sweeps=sweeps)
+    return res.executor_time * (scale_to / sweeps), res.inspector_time
+
+
+@pytest.mark.parametrize("p", [2, 16, 128])
+def test_ncube_cells(p):
+    """Paper Figure 7 cells, NCUBE/7 at small, middle, and large P."""
+    executor, inspector = measure(NCUBE7, p)
+    pt, pe, pi = cal.PAPER_NCUBE_PROCS[p]
+    assert executor == pytest.approx(pe, rel=0.15)
+    assert inspector == pytest.approx(pi, rel=0.15)
+
+
+@pytest.mark.parametrize("p", [2, 32])
+def test_ipsc_cells(p):
+    """Paper Figure 8 cells, iPSC/2."""
+    executor, inspector = measure(IPSC2, p)
+    pt, pe, pi = cal.PAPER_IPSC_PROCS[p]
+    assert executor == pytest.approx(pe, rel=0.15)
+    assert inspector == pytest.approx(pi, rel=0.35)
+
+
+def test_small_mesh_cell():
+    """Paper Figure 9's 64^2 row at P=128 (the high-overhead corner)."""
+    executor, inspector = measure(NCUBE7, 128, side=64)
+    pt, pe, pi, _ = cal.PAPER_NCUBE_SIZES[64]
+    assert executor == pytest.approx(pe, rel=0.15)
+    assert inspector == pytest.approx(pi, rel=0.15)
+    overhead = inspector / (executor + inspector)
+    assert overhead == pytest.approx(0.278, abs=0.06)  # paper: 27.8%
+
+
+def test_single_sweep_worst_case_endpoints():
+    """§4: 'from 45% on 2 processors to 93% on 128 processors'."""
+    mesh = five_point_grid(128, 128)
+    for p, expected in ((2, 0.45), (128, 0.93)):
+        res = build_jacobi(mesh, p, machine=NCUBE7).run(sweeps=1)
+        assert res.inspector_overhead == pytest.approx(expected, abs=0.05)
+
+
+def test_machine_presets_sane():
+    """Structural sanity of the calibrated constants."""
+    for m in (NCUBE7, IPSC2):
+        assert m.alpha_send > m.beta > 0
+        assert m.search_base > m.ref_local > 0
+        assert m.inspect_ref > 0 and m.combine_stage > 0
+    # iPSC/2 is uniformly the faster machine.
+    assert IPSC2.flop < NCUBE7.flop
+    assert IPSC2.inspect_ref < NCUBE7.inspect_ref
+    assert IPSC2.combine_stage < NCUBE7.combine_stage
+    assert IPSC2.search_base < NCUBE7.search_base

@@ -1,0 +1,108 @@
+"""Tests for the conjugate-gradient application (SpMV + reductions + AXPY)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cg import CGSolver, dense_matrix, laplacian_plus_identity
+from repro.distributions import Block, Cyclic, Custom
+from repro.machine.cost import IDEAL, IPSC2, NCUBE7
+from repro.meshes.regular import five_point_grid
+from repro.meshes.unstructured import random_unstructured_mesh
+
+
+class TestOperator:
+    def test_laplacian_symmetric_positive_definite(self):
+        mesh = five_point_grid(5, 5)
+        A = dense_matrix(mesh)
+        np.testing.assert_array_equal(A, A.T)
+        eigs = np.linalg.eigvalsh(A)
+        assert eigs.min() >= 1.0 - 1e-12  # I + L with L PSD
+
+    def test_row_format_consistent(self):
+        mesh = five_point_grid(4, 6)
+        cols, vals, counts = laplacian_plus_identity(mesh)
+        # diagonal first, then -1 per neighbour
+        assert (cols[:, 0] == np.arange(mesh.n)).all()
+        np.testing.assert_array_equal(vals[:, 0], 1.0 + mesh.count)
+        assert (counts == mesh.count + 1).all()
+        # row sums of (D - Adj) are 0, so A row sums are 1
+        live = np.arange(cols.shape[1])[None, :] < counts[:, None]
+        np.testing.assert_allclose((vals * live).sum(axis=1), 1.0)
+
+
+class TestSolve:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_matches_dense_solve(self, p, rng):
+        mesh = five_point_grid(6, 6)
+        b = rng.random(mesh.n)
+        solver = CGSolver(mesh, p, machine=IDEAL)
+        res = solver.solve(b, tol=1e-10)
+        x_ref = np.linalg.solve(dense_matrix(mesh), b)
+        np.testing.assert_allclose(res.solution, x_ref, atol=1e-8)
+        assert res.residual < 1e-9
+
+    def test_unstructured_mesh(self, rng):
+        mesh, _ = random_unstructured_mesh(80, seed=3)
+        b = rng.random(mesh.n)
+        res = CGSolver(mesh, 4, machine=IDEAL).solve(b, tol=1e-10)
+        x_ref = np.linalg.solve(dense_matrix(mesh), b)
+        np.testing.assert_allclose(res.solution, x_ref, atol=1e-8)
+
+    def test_alternative_distribution(self, rng):
+        mesh = five_point_grid(6, 6)
+        b = rng.random(mesh.n)
+        res = CGSolver(mesh, 4, machine=IDEAL, dist=Cyclic()).solve(b, tol=1e-10)
+        x_ref = np.linalg.solve(dense_matrix(mesh), b)
+        np.testing.assert_allclose(res.solution, x_ref, atol=1e-8)
+
+    def test_iteration_count_independent_of_p(self, rng):
+        """CG's arithmetic is identical on any processor count."""
+        mesh = five_point_grid(6, 6)
+        b = rng.random(mesh.n)
+        iters = {
+            p: CGSolver(mesh, p, machine=IDEAL).solve(b, tol=1e-10).iterations
+            for p in (1, 4)
+        }
+        assert iters[1] == iters[4]
+
+    def test_zero_rhs_converges_immediately(self):
+        mesh = five_point_grid(4, 4)
+        res = CGSolver(mesh, 2, machine=IDEAL).solve(np.zeros(mesh.n))
+        assert res.iterations == 0
+        np.testing.assert_array_equal(res.solution, np.zeros(mesh.n))
+
+    def test_max_iter_cap(self, rng):
+        mesh = five_point_grid(8, 8)
+        b = rng.random(mesh.n)
+        res = CGSolver(mesh, 2, machine=IDEAL).solve(b, tol=1e-30, max_iter=3)
+        assert res.iterations == 3
+
+
+class TestSchedulesAndCosts:
+    def test_spmv_schedule_inspected_once(self, rng):
+        mesh = five_point_grid(8, 8)
+        b = rng.random(mesh.n)
+        solver = CGSolver(mesh, 4, machine=NCUBE7)
+        res = solver.solve(b, tol=1e-10)
+        # one inspection per rank for the spmv loop (all other loops are
+        # affine/compile-time), reused by every CG iteration.
+        assert res.timing.engine.counter_sum("inspector_runs") == 4
+        stats = res.timing.cache_stats()
+        assert stats["hits"] > stats["misses"]
+        assert stats["invalidations"] == 0
+
+    def test_axpy_loops_are_compile_time_and_local(self, rng):
+        mesh = five_point_grid(8, 8)
+        b = rng.random(mesh.n)
+        solver = CGSolver(mesh, 4, machine=NCUBE7)
+        res = solver.solve(b, tol=1e-8)
+        strategies = res.timing.strategies()
+        assert strategies["cg-update-x"] == "compile-time"
+        assert strategies["cg-spmv"] == "inspector"
+
+    def test_faster_machine_faster_solve(self, rng):
+        mesh = five_point_grid(8, 8)
+        b = rng.random(mesh.n)
+        tn = CGSolver(mesh, 4, machine=NCUBE7).solve(b).timing.total_time
+        ti = CGSolver(mesh, 4, machine=IPSC2).solve(b).timing.total_time
+        assert ti < tn

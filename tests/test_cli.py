@@ -1,0 +1,101 @@
+"""Tests for the command-line Kali runner (python -m repro.lang)."""
+
+import numpy as np
+import pytest
+
+from repro.lang.__main__ import build_parser, main
+
+
+@pytest.fixture
+def shift_program(tmp_path):
+    src = tmp_path / "shift.kali"
+    src.write_text(
+        "processors Procs : array[1..P] with P in 1..16;\n"
+        "const n : integer := 8;\n"
+        "var A : array[1..n] of real dist by [ block ] on Procs;\n"
+        "forall i in 1..n on A[i].loc do A[i] := float(i); end;\n"
+        "forall i in 1..n-1 on A[i].loc do A[i] := A[i+1]; end;\n"
+        'print("first", A[1]);\n'
+    )
+    return src
+
+
+class TestCLI:
+    def test_runs_and_prints(self, shift_program, capsys):
+        rc = main([str(shift_program), "--nprocs", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "first 2" in out
+
+    def test_timing_flag(self, shift_program, capsys):
+        rc = main([str(shift_program), "--timing"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "executor=" in err and "schedule cache" in err
+
+    def test_machine_choice(self, shift_program, capsys):
+        assert main([str(shift_program), "-m", "iPSC/2"]) == 0
+        assert main([str(shift_program), "-m", "modern-cluster"]) == 0
+
+    def test_const_override(self, tmp_path, capsys):
+        src = tmp_path / "p.kali"
+        src.write_text(
+            "processors Procs : array[1..P] with P in 1..16;\n"
+            "const n : integer;\n"
+            "var A : array[1..n] of real dist by [ block ] on Procs;\n"
+            "A[1] := 1.0;\n"
+            'print("n =", n);\n'
+        )
+        rc = main([str(src), "-c", "n=12"])
+        assert rc == 0
+        assert "n = 12" in capsys.readouterr().out
+
+    def test_input_and_save(self, tmp_path, capsys):
+        init = tmp_path / "init.npy"
+        np.save(init, np.arange(8.0))
+        out = tmp_path / "out.npz"
+        src = tmp_path / "p.kali"
+        src.write_text(
+            "processors Procs : array[1..P] with P in 1..16;\n"
+            "const n : integer := 8;\n"
+            "var A : array[1..n] of real dist by [ block ] on Procs;\n"
+            "forall i in 1..n on A[i].loc do A[i] := A[i] * 2.0; end;\n"
+        )
+        rc = main([str(src), "-i", f"A={init}", "--save-arrays", str(out)])
+        assert rc == 0
+        saved = np.load(out)
+        np.testing.assert_array_equal(saved["A"], np.arange(8.0) * 2)
+
+    def test_emit_pretty_prints(self, shift_program, capsys):
+        rc = main([str(shift_program), "--emit"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "forall i in 1..n - 1 on A[i].loc do" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["/nonexistent.kali"]) == 2
+
+    def test_kali_error_reported(self, tmp_path, capsys):
+        src = tmp_path / "bad.kali"
+        src.write_text("var x : real;\nx := nosuchvar;\n")
+        assert main([str(src)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_no_cache_flag(self, shift_program):
+        assert main([str(shift_program), "--no-cache"]) == 0
+
+    def test_parser_const_types(self):
+        ap = build_parser()
+        args = ap.parse_args(["x.kali", "-c", "n=5", "-c", "tol=0.5",
+                              "-c", "flag=true"])
+        assert dict(args.const) == {"n": 5, "tol": 0.5, "flag": True}
+
+    def test_example_programs_run(self, capsys):
+        """The shipped .kali examples must execute cleanly."""
+        import pathlib
+
+        kali_dir = pathlib.Path(__file__).parent.parent / "examples" / "kali"
+        programs = sorted(kali_dir.glob("*.kali"))
+        assert programs, "no example .kali programs found"
+        for prog in programs:
+            assert main([str(prog), "--nprocs", "4"]) == 0, prog.name

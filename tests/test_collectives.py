@@ -1,0 +1,249 @@
+"""Tests for the collective operations and the crystal router."""
+
+import operator
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.collectives import (
+    allgather,
+    allreduce,
+    alltoall,
+    barrier,
+    bcast,
+    gather,
+    reduce,
+    scan,
+)
+from repro.comm.crystal import crystal_route
+from repro.errors import CommunicationError
+from repro.machine.cost import IDEAL, NCUBE7
+from repro.machine.engine import Engine
+from repro.machine.topology import FullyConnected, Hypercube
+from repro.util.gray import is_power_of_two
+
+SIZES = [1, 2, 3, 4, 5, 7, 8, 12, 16]
+POW2 = [1, 2, 4, 8, 16]
+
+
+def launch(prog, n, machine=IDEAL):
+    topo = Hypercube(n) if is_power_of_two(n) else FullyConnected(n)
+    return Engine(machine, topology=topo).run(prog)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("root", [0, "last"])
+def test_bcast(n, root):
+    r = n - 1 if root == "last" else 0
+
+    def prog(rank):
+        value = {"data": 99} if rank.id == r else None
+        got = yield from bcast(rank, value, root=r)
+        return got["data"]
+
+    res = launch(prog, n)
+    assert res.values == [99] * n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_reduce_sum(n):
+    def prog(rank):
+        s = yield from reduce(rank, rank.id + 1, operator.add, root=0)
+        return s
+
+    res = launch(prog, n)
+    assert res.values[0] == n * (n + 1) // 2
+    assert all(v is None for v in res.values[1:])
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_allreduce_sum_and_max(n):
+    def prog(rank):
+        s = yield from allreduce(rank, rank.id, operator.add)
+        m = yield from allreduce(rank, rank.id, max, tag=1)
+        return (s, m)
+
+    res = launch(prog, n)
+    assert all(v == (n * (n - 1) // 2, n - 1) for v in res.values)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_gather(n):
+    def prog(rank):
+        g = yield from gather(rank, rank.id * rank.id, root=n // 2)
+        return g
+
+    res = launch(prog, n)
+    assert res.values[n // 2] == [i * i for i in range(n)]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_allgather(n):
+    def prog(rank):
+        g = yield from allgather(rank, chr(ord("a") + rank.id))
+        return "".join(g)
+
+    res = launch(prog, n)
+    expected = "".join(chr(ord("a") + i) for i in range(n))
+    assert res.values == [expected] * n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_alltoall(n):
+    def prog(rank):
+        out = [(rank.id, q) for q in range(n)]
+        got = yield from alltoall(rank, out)
+        return got
+
+    res = launch(prog, n)
+    for me, got in enumerate(res.values):
+        assert got == [(q, me) for q in range(n)]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_scan_inclusive(n):
+    def prog(rank):
+        s = yield from scan(rank, rank.id + 1, operator.add)
+        return s
+
+    res = launch(prog, n)
+    assert res.values == [sum(range(1, i + 2)) for i in range(n)]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_barrier_synchronises_clocks(n):
+    """After a barrier, no rank's clock may precede another rank's
+    pre-barrier clock (the defining property of a barrier)."""
+
+    def prog(rank):
+        yield from rank_work(rank)
+        pre = yield from now_of(rank)
+        yield from barrier(rank)
+        post = yield from now_of(rank)
+        return (pre, post)
+
+    def rank_work(rank):
+        from repro.machine.api import Compute
+
+        yield Compute(float(rank.id) * 3.0)
+
+    def now_of(rank):
+        from repro.machine.api import Now
+
+        t = yield Now()
+        return t
+
+    res = launch(prog, n)
+    max_pre = max(pre for pre, _ in res.values)
+    assert all(post >= max_pre for _, post in res.values)
+
+
+def test_allreduce_log_cost():
+    """Recursive doubling must cost O(log P) message startups, not O(P)."""
+    m = IDEAL.with_overrides(alpha_send=1.0, ref_local=0.0, iter_base=0.0, flop=0.0)
+
+    def prog(rank):
+        yield from allreduce(rank, 1, operator.add)
+
+    res16 = launch(prog, 16, machine=m)
+    # 4 rounds of (send+recv): sends cost alpha=1 -> clock ~4, not ~15.
+    assert res16.makespan < 10.0
+
+
+def test_bcast_empty_world():
+    def prog(rank):
+        v = yield from bcast(rank, 5, root=0)
+        return v
+
+    assert launch(prog, 1).values == [5]
+
+
+class TestCrystalRouter:
+    @pytest.mark.parametrize("n", POW2)
+    def test_all_to_all_delivery(self, n):
+        def prog(rank):
+            out = {q: f"{rank.id}->{q}" for q in range(n)}
+            got = yield from crystal_route(rank, out)
+            return got
+
+        res = launch(prog, n)
+        for me, got in enumerate(res.values):
+            assert got == {q: f"{q}->{me}" for q in range(n)}
+
+    @pytest.mark.parametrize("n", POW2)
+    def test_sparse_pattern(self, n):
+        """Only even ranks send, to rank 0 only."""
+
+        def prog(rank):
+            out = {0: rank.id} if rank.id % 2 == 0 else {}
+            got = yield from crystal_route(rank, out)
+            return got
+
+        res = launch(prog, n)
+        assert res.values[0] == {q: q for q in range(0, n, 2)}
+        for got in res.values[1:]:
+            assert got == {}
+
+    def test_requires_power_of_two(self):
+        def prog(rank):
+            yield from crystal_route(rank, {})
+
+        with pytest.raises(CommunicationError):
+            launch(prog, 3)
+
+    def test_bad_destination(self):
+        def prog(rank):
+            yield from crystal_route(rank, {99: "x"})
+
+        with pytest.raises(CommunicationError):
+            launch(prog, 4)
+
+    def test_charges_combine_stage(self):
+        m = IDEAL.with_overrides(combine_stage=1.0)
+
+        def prog(rank):
+            yield from crystal_route(rank, {})
+
+        res = launch(prog, 8, machine=m)
+        # 3 stages in a 3-cube, each charging combine_stage.
+        assert res.phase_max("crystal") == pytest.approx(3.0)
+
+    def test_no_combine_charge_when_disabled(self):
+        m = IDEAL.with_overrides(combine_stage=1.0)
+
+        def prog(rank):
+            yield from crystal_route(rank, {}, charge_combine=False)
+
+        res = launch(prog, 8, machine=m)
+        assert res.phase_max("crystal") == pytest.approx(0.0)
+
+    def test_numpy_payloads(self):
+        def prog(rank):
+            out = {q: np.full(3, rank.id) for q in range(rank.size)}
+            got = yield from crystal_route(rank, out)
+            return {q: v.tolist() for q, v in got.items()}
+
+        res = launch(prog, 8)
+        for me, got in enumerate(res.values):
+            assert got == {q: [q, q, q] for q in range(8)}
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=20))
+    def test_random_patterns_deliver_exactly(self, pairs):
+        """Every (src, dst) pair in the pattern arrives exactly once."""
+        from collections import defaultdict
+
+        sends = defaultdict(dict)
+        for s, d in pairs:
+            sends[s][d] = sends[s].get(d, 0) + 1
+
+        def prog(rank):
+            got = yield from crystal_route(rank, dict(sends[rank.id]))
+            return got
+
+        res = launch(prog, 8)
+        for dst in range(8):
+            expected = {s: sends[s][dst] for s in sends if dst in sends[s]}
+            assert res.values[dst] == expected

@@ -1,0 +1,130 @@
+"""Tests for Gray codes and machine topologies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.machine.topology import FullyConnected, Hypercube, Mesh2D
+from repro.util.gray import (
+    gray_decode,
+    gray_encode,
+    hamming_distance,
+    hypercube_neighbors,
+    is_power_of_two,
+    log2_exact,
+    ring_embedding,
+)
+
+
+class TestGray:
+    def test_first_codes(self):
+        assert [gray_encode(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    @given(st.integers(0, 1 << 20))
+    def test_roundtrip(self, n):
+        assert gray_decode(gray_encode(n)) == n
+
+    @given(st.integers(0, 1 << 20))
+    def test_adjacent_codes_differ_by_one_bit(self, n):
+        assert hamming_distance(gray_encode(n), gray_encode(n + 1)) == 1
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            gray_encode(-1)
+        with pytest.raises(ValueError):
+            gray_decode(-1)
+
+    def test_hypercube_neighbors(self):
+        assert sorted(hypercube_neighbors(0, 3)) == [1, 2, 4]
+        assert sorted(hypercube_neighbors(5, 3)) == [1, 4, 7]
+
+    def test_neighbors_out_of_cube(self):
+        with pytest.raises(ValueError):
+            hypercube_neighbors(8, 3)
+
+    def test_is_power_of_two(self):
+        assert all(is_power_of_two(1 << k) for k in range(12))
+        assert not any(is_power_of_two(x) for x in (0, 3, 5, 6, 7, 9, 12, -4))
+
+    def test_log2_exact(self):
+        assert log2_exact(128) == 7
+        with pytest.raises(ValueError):
+            log2_exact(96)
+
+    def test_ring_embedding_neighbours(self):
+        ring = ring_embedding(8, 3)
+        for a, b in zip(ring, ring[1:]):
+            assert hamming_distance(a, b) == 1
+        assert hamming_distance(ring[-1], ring[0]) == 1  # power-of-two wrap
+
+    def test_ring_too_big(self):
+        with pytest.raises(ValueError):
+            ring_embedding(9, 3)
+
+
+class TestHypercube:
+    def test_sizes(self):
+        for d in range(0, 8):
+            h = Hypercube(1 << d)
+            assert h.dimension == d
+            assert h.diameter() == d
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(TopologyError):
+            Hypercube(24)
+
+    def test_hops_is_hamming(self):
+        h = Hypercube(16)
+        assert h.hops(0, 15) == 4
+        assert h.hops(5, 5) == 0
+        assert h.hops(0b1010, 0b1001) == 2
+
+    def test_neighbors_count(self):
+        h = Hypercube(32)
+        for node in range(32):
+            nbrs = h.neighbors(node)
+            assert len(nbrs) == 5
+            assert all(h.hops(node, m) == 1 for m in nbrs)
+
+    def test_bad_node(self):
+        with pytest.raises(TopologyError):
+            Hypercube(8).hops(0, 8)
+
+
+class TestMesh2D:
+    def test_hops_manhattan(self):
+        m = Mesh2D(4, 5)
+        assert m.hops(0, m.size - 1) == 3 + 4
+        assert m.diameter() == 7
+
+    def test_neighbors_interior(self):
+        m = Mesh2D(3, 3)
+        assert sorted(m.neighbors(4)) == [1, 3, 5, 7]
+
+    def test_neighbors_corner(self):
+        m = Mesh2D(3, 3)
+        assert sorted(m.neighbors(0)) == [1, 3]
+
+    def test_bad_shape(self):
+        with pytest.raises(TopologyError):
+            Mesh2D(0, 3)
+
+
+class TestFullyConnected:
+    def test_hops(self):
+        f = FullyConnected(5)
+        assert f.hops(0, 4) == 1
+        assert f.hops(2, 2) == 0
+        assert f.diameter() == 1
+
+    def test_single_node(self):
+        assert FullyConnected(1).diameter() == 0
+
+    def test_neighbors(self):
+        f = FullyConnected(4)
+        assert sorted(f.neighbors(1)) == [0, 2, 3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            FullyConnected(0)

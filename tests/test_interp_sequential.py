@@ -1,0 +1,148 @@
+"""Tests for the interpreter's sequential (non-forall) semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KaliRuntimeError, KaliSemanticError
+from repro.lang import compile_kali
+from repro.machine.cost import IDEAL
+
+HEADER = (
+    "processors Procs : array[1..P] with P in 1..16;\n"
+    "const n : integer := 8;\n"
+    "var A : array[1..n] of real dist by [ cyclic ] on Procs;\n"
+    "var M : array[1..4, 1..3] of real dist by [ block, * ] on Procs;\n"
+    "var R : array[1..3] of integer;\n"
+    "var x : real; k, j : integer; flag : boolean;\n"
+)
+
+
+def run(body, p=4, **kw):
+    return compile_kali(HEADER + body).run(nprocs=p, machine=IDEAL, **kw)
+
+
+class TestScalarStatements:
+    def test_arithmetic_and_types(self):
+        res = run(
+            "x := 7.0 / 2.0;\n"
+            "k := 7 div 2 + 7 mod 2;\n"
+            "flag := (k = 4) and not (x > 4.0);\n"
+        )
+        assert res.scalars["x"] == 3.5
+        assert res.scalars["k"] == 4
+        assert res.scalars["flag"] is True
+
+    def test_builtins(self):
+        res = run(
+            "x := abs(-2.5) + sqrt(16.0);\n"
+            "k := trunc(3.9) + max(2, 7);\n"
+        )
+        assert res.scalars["x"] == 6.5
+        assert res.scalars["k"] == 10
+
+    def test_while_with_counter(self):
+        res = run(
+            "k := 0;\n"
+            "while k < 5 do k := k + 1; end;\n"
+        )
+        assert res.scalars["k"] == 5
+
+    def test_nested_for_loops(self):
+        res = run(
+            "k := 0;\n"
+            "for j in 1..3 do\n"
+            "    for k in 1..1 do x := x + 1.0; end;\n"
+            "end;\n"
+        )
+        assert res.scalars["x"] == 3.0
+
+    def test_if_else_chain(self):
+        res = run(
+            "k := 2;\n"
+            "if k = 1 then x := 10.0;\n"
+            "else\n"
+            "    if k = 2 then x := 20.0; else x := 30.0; end;\n"
+            "end;\n"
+        )
+        assert res.scalars["x"] == 20.0
+
+
+class TestGlobalElementAccess:
+    def test_2d_element_write_and_read(self):
+        res = run(
+            "M[3, 2] := 9.5;\n"
+            "x := M[3, 2];\n"
+        )
+        assert res.scalars["x"] == 9.5
+        assert res.arrays["M"][2, 1] == 9.5
+
+    def test_replicated_array_access(self):
+        res = run(
+            "R[1] := 4;\n"
+            "R[2] := R[1] * 2;\n"
+            "k := R[2];\n"
+        )
+        assert res.scalars["k"] == 8
+        np.testing.assert_array_equal(res.arrays["R"], [4, 8, 0])
+
+    def test_out_of_bounds_read(self):
+        with pytest.raises(KaliRuntimeError):
+            run("x := A[9];\n")
+
+    def test_out_of_bounds_write(self):
+        with pytest.raises(KaliRuntimeError):
+            run("A[0] := 1.0;\n")
+
+    def test_element_read_costs_a_broadcast(self):
+        """Reading a remote element is not free: log-P messages."""
+        from repro.machine.cost import NCUBE7
+
+        src = HEADER + "A[5] := 2.0;\nx := A[5];\n"
+        res = compile_kali(src).run(nprocs=4, machine=NCUBE7)
+        assert res.timing.engine.total_messages() > 0
+        assert res.scalars["x"] == 2.0
+
+    def test_sequential_write_visible_to_forall(self):
+        res = run(
+            "A[3] := 5.0;\n"
+            "forall i in 1..n on A[i].loc do A[i] := A[i] * 2.0; end;\n"
+        )
+        assert res.arrays["A"][2] == 10.0
+
+
+class TestPrintFormats:
+    def test_float_formatting(self):
+        res = run('print(1.0 / 3.0);\n')
+        assert res.output == ["0.333333"]
+
+    def test_mixed_args(self):
+        res = run('k := 7;\nprint("k:", k, true);\n')
+        assert res.output == ["k: 7 True"]
+
+    def test_multiple_lines_ordered(self):
+        res = run('print("one");\nprint("two");\n')
+        assert res.output == ["one", "two"]
+
+
+class TestScalarResults:
+    def test_loop_variable_scoping(self):
+        """A for variable reverts to its prior value after the loop."""
+        res = run(
+            "k := 99;\n"
+            "for k in 1..3 do x := x + 1.0; end;\n"
+        )
+        assert res.scalars["k"] == 99
+
+    def test_boolean_result(self):
+        res = run("flag := 1 < 2;\n")
+        assert res.scalars["flag"] is True
+
+    def test_scalars_identical_across_ranks(self):
+        """SPMD discipline: the collected scalars are rank 0's, and every
+        rank computed the same values (checked via a global write)."""
+        res = run(
+            "k := P;\n"
+            "A[1] := float(k);\n"
+        , p=8)
+        assert res.scalars["k"] == 8
+        assert res.arrays["A"][0] == 8.0

@@ -1,0 +1,248 @@
+"""Unit and property tests for the interval-set algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.intsets import IntervalSet
+
+
+def iset(*pairs):
+    return IntervalSet(pairs)
+
+
+class TestConstruction:
+    def test_empty(self):
+        s = IntervalSet.empty()
+        assert len(s) == 0
+        assert not s
+        assert list(s) == []
+
+    def test_range(self):
+        s = IntervalSet.range(3, 7)
+        assert len(s) == 5
+        assert list(s) == [3, 4, 5, 6, 7]
+
+    def test_range_inverted_is_empty(self):
+        assert not IntervalSet.range(7, 3)
+
+    def test_point(self):
+        assert list(IntervalSet.point(42)) == [42]
+
+    def test_merges_overlapping(self):
+        s = iset((1, 5), (3, 8))
+        assert s.intervals == ((1, 8),)
+
+    def test_merges_adjacent(self):
+        s = iset((1, 3), (4, 6))
+        assert s.intervals == ((1, 6),)
+
+    def test_keeps_disjoint(self):
+        s = iset((1, 3), (5, 7))
+        assert s.intervals == ((1, 3), (5, 7))
+
+    def test_unsorted_input(self):
+        s = iset((10, 12), (1, 3))
+        assert s.intervals == ((1, 3), (10, 12))
+
+    def test_from_indices(self):
+        s = IntervalSet.from_indices([5, 1, 2, 3, 9, 10])
+        assert s.intervals == ((1, 3), (5, 5), (9, 10))
+
+    def test_from_indices_duplicates(self):
+        s = IntervalSet.from_indices([2, 2, 2, 3])
+        assert s.intervals == ((2, 3),)
+
+    def test_from_indices_empty(self):
+        assert not IntervalSet.from_indices([])
+
+    def test_negative_values(self):
+        s = IntervalSet.from_indices([-3, -2, 0])
+        assert s.intervals == ((-3, -2), (0, 0))
+
+
+class TestMembership:
+    def test_contains(self):
+        s = iset((1, 3), (7, 9))
+        for x in (1, 2, 3, 7, 8, 9):
+            assert x in s
+        for x in (0, 4, 5, 6, 10):
+            assert x not in s
+
+    def test_contains_empty(self):
+        assert 0 not in IntervalSet.empty()
+
+    def test_iteration_order_sorted(self):
+        s = iset((7, 9), (1, 2))
+        assert list(s) == [1, 2, 7, 8, 9]
+
+
+class TestAlgebra:
+    def test_union(self):
+        a, b = iset((1, 3)), iset((5, 7))
+        assert (a | b).intervals == ((1, 3), (5, 7))
+
+    def test_union_overlap(self):
+        a, b = iset((1, 5)), iset((4, 9))
+        assert (a | b).intervals == ((1, 9),)
+
+    def test_intersection(self):
+        a = iset((1, 10))
+        b = iset((5, 15))
+        assert (a & b).intervals == ((5, 10),)
+
+    def test_intersection_multi(self):
+        a = iset((0, 4), (8, 12))
+        b = iset((3, 9))
+        assert (a & b).intervals == ((3, 4), (8, 9))
+
+    def test_intersection_disjoint(self):
+        assert not (iset((1, 2)) & iset((5, 6)))
+
+    def test_difference(self):
+        a = iset((0, 10))
+        b = iset((3, 5))
+        assert (a - b).intervals == ((0, 2), (6, 10))
+
+    def test_difference_whole(self):
+        assert not (iset((3, 5)) - iset((0, 10)))
+
+    def test_difference_edges(self):
+        a = iset((0, 10))
+        assert (a - iset((0, 0))).intervals == ((1, 10),)
+        assert (a - iset((10, 10))).intervals == ((0, 9),)
+
+    def test_issubset(self):
+        assert iset((2, 4)).issubset(iset((0, 10)))
+        assert not iset((2, 11)).issubset(iset((0, 10)))
+
+    def test_isdisjoint(self):
+        assert iset((0, 2)).isdisjoint(iset((3, 5)))
+        assert not iset((0, 3)).isdisjoint(iset((3, 5)))
+
+
+class TestTransforms:
+    def test_shift(self):
+        s = iset((1, 3), (7, 8)).shift(10)
+        assert s.intervals == ((11, 13), (17, 18))
+
+    def test_shift_negative(self):
+        assert iset((5, 9)).shift(-5).intervals == ((0, 4),)
+
+    def test_affine_preimage_identity(self):
+        s = iset((0, 9))
+        assert s.affine_preimage(1, 0) == s
+
+    def test_affine_preimage_shift(self):
+        # i+1 in [5,9]  <=>  i in [4,8]
+        assert iset((5, 9)).affine_preimage(1, 1).intervals == ((4, 8),)
+
+    def test_affine_preimage_scale(self):
+        # 2i in [0,10] <=> i in [0,5]
+        assert iset((0, 10)).affine_preimage(2, 0).intervals == ((0, 5),)
+
+    def test_affine_preimage_negative_a(self):
+        # -i in [-5,-2] <=> i in [2,5]
+        assert iset((-5, -2)).affine_preimage(-1, 0).intervals == ((2, 5),)
+
+    def test_affine_preimage_zero_a_raises(self):
+        with pytest.raises(ValueError):
+            iset((0, 1)).affine_preimage(0, 3)
+
+    def test_affine_image_identity_shift(self):
+        assert iset((0, 4)).affine_image(1, 3).intervals == ((3, 7),)
+
+    def test_affine_image_negate(self):
+        assert iset((1, 3)).affine_image(-1, 0).intervals == ((-3, -1),)
+
+    def test_affine_image_scale(self):
+        s = iset((0, 3)).affine_image(2, 0)
+        assert list(s) == [0, 2, 4, 6]
+
+    def test_image_preimage_roundtrip(self):
+        s = iset((2, 9))
+        img = s.affine_image(3, 1)
+        assert img.affine_preimage(3, 1) == s
+
+
+class TestConversions:
+    def test_to_array(self):
+        s = iset((1, 3), (7, 7))
+        np.testing.assert_array_equal(s.to_array(), [1, 2, 3, 7])
+
+    def test_to_array_empty(self):
+        assert IntervalSet.empty().to_array().size == 0
+
+    def test_bounds(self):
+        assert iset((3, 5), (9, 12)).bounds() == (3, 12)
+
+    def test_bounds_empty_raises(self):
+        with pytest.raises(ValueError):
+            IntervalSet.empty().bounds()
+
+    def test_num_ranges(self):
+        assert iset((1, 2), (4, 5), (9, 9)).num_ranges() == 3
+
+    def test_hash_eq(self):
+        assert hash(iset((1, 2))) == hash(iset((1, 2)))
+        assert iset((1, 2)) == iset((1, 2))
+        assert iset((1, 2)) != iset((1, 3))
+
+
+# --- property-based tests ---------------------------------------------------
+
+index_lists = st.lists(st.integers(-200, 200), max_size=60)
+
+
+@given(index_lists, index_lists)
+def test_union_matches_python_sets(xs, ys):
+    a, b = IntervalSet.from_indices(xs), IntervalSet.from_indices(ys)
+    assert set(a | b) == set(xs) | set(ys)
+
+
+@given(index_lists, index_lists)
+def test_intersection_matches_python_sets(xs, ys):
+    a, b = IntervalSet.from_indices(xs), IntervalSet.from_indices(ys)
+    assert set(a & b) == set(xs) & set(ys)
+
+
+@given(index_lists, index_lists)
+def test_difference_matches_python_sets(xs, ys):
+    a, b = IntervalSet.from_indices(xs), IntervalSet.from_indices(ys)
+    assert set(a - b) == set(xs) - set(ys)
+
+
+@given(index_lists)
+def test_roundtrip_through_array(xs):
+    s = IntervalSet.from_indices(xs)
+    assert IntervalSet.from_indices(s.to_array().tolist()) == s
+    assert len(s) == len(set(xs))
+
+
+@given(index_lists, st.integers(-100, 100))
+def test_shift_preserves_cardinality(xs, k):
+    s = IntervalSet.from_indices(xs)
+    assert len(s.shift(k)) == len(s)
+    assert set(s.shift(k)) == {x + k for x in xs}
+
+
+@given(index_lists, st.integers(-5, 5).filter(lambda a: a != 0), st.integers(-50, 50))
+def test_preimage_definition(xs, a, b):
+    s = IntervalSet.from_indices(xs)
+    pre = s.affine_preimage(a, b)
+    lo, hi = (-500, 500)
+    expected = {i for i in range(lo, hi) if a * i + b in s}
+    got = {i for i in pre if lo <= i < hi}
+    assert got == expected
+
+
+@given(index_lists)
+def test_normalization_canonical(xs):
+    """Canonical form: sorted, disjoint, non-adjacent intervals."""
+    s = IntervalSet.from_indices(xs)
+    ivals = s.intervals
+    for lo, hi in ivals:
+        assert lo <= hi
+    for (l1, h1), (l2, h2) in zip(ivals, ivals[1:]):
+        assert h1 + 1 < l2

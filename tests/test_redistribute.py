@@ -1,0 +1,221 @@
+"""Tests for run-time redistribution (the paper's §6 future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.context import KaliContext
+from repro.core.forall import Affine, AffineRead, AffineWrite, Forall, OnOwner
+from repro.distributions import Block, BlockCyclic, Custom, Cyclic, Replicated
+from repro.errors import DistributionError
+from repro.lang import compile_kali
+from repro.machine.cost import IDEAL, NCUBE7
+
+
+def run_with_redistribute(n, p, first, second, machine=IDEAL, data=None):
+    """Scatter under `first`, redistribute to `second`, gather back."""
+    ctx = KaliContext(p, machine=machine)
+    arr = ctx.array("A", n, dist=[first])
+    data = np.arange(float(n)) if data is None else data
+    arr.set(data)
+
+    def program(kr):
+        yield from kr.redistribute("A", second)
+
+    res = ctx.run(program)
+    return ctx, res
+
+
+class TestDataMotion:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    @pytest.mark.parametrize("pair", [
+        (Block(), Cyclic()),
+        (Cyclic(), Block()),
+        (Block(), BlockCyclic(3)),
+        (BlockCyclic(5), Cyclic()),
+    ], ids=["b2c", "c2b", "b2bc", "bc2c"])
+    def test_contents_preserved(self, p, pair):
+        first, second = pair
+        n = 37
+        ctx, _ = run_with_redistribute(n, p, first, second)
+        np.testing.assert_array_equal(ctx.arrays["A"].data, np.arange(float(n)))
+        assert ctx.arrays["A"].dist.dims[0].kind == second.kind
+
+    def test_to_custom_distribution(self):
+        n, p = 20, 4
+        owners = (np.arange(n) * 3) % p
+        ctx, _ = run_with_redistribute(n, p, Block(), Custom(owners))
+        np.testing.assert_array_equal(ctx.arrays["A"].data, np.arange(float(n)))
+
+    def test_identity_redistribute_moves_nothing(self):
+        n, p = 32, 4
+        ctx, res = run_with_redistribute(n, p, Block(), Block(), machine=NCUBE7)
+        assert res.engine.total_messages() == 0
+        np.testing.assert_array_equal(ctx.arrays["A"].data, np.arange(float(n)))
+
+    def test_block_to_cyclic_moves_most_elements(self):
+        n, p = 32, 4
+        _, res = run_with_redistribute(n, p, Block(), Cyclic(), machine=NCUBE7)
+        moved = res.engine.counter_sum("redistribute_elems_sent")
+        assert moved == 24  # each rank keeps exactly n/p^2 = 2 of its 8
+
+    def test_2d_array_rows_move_together(self):
+        n, p, w = 12, 3, 4
+        ctx = KaliContext(p, machine=IDEAL)
+        arr = ctx.array("M", (n, w), dist=[Block(), Replicated()])
+        data = np.arange(float(n * w)).reshape(n, w)
+        arr.set(data)
+
+        def program(kr):
+            yield from kr.redistribute("M", Cyclic())
+
+        ctx.run(program)
+        np.testing.assert_array_equal(ctx.arrays["M"].data, data)
+
+    def test_replicated_array_rejected(self):
+        ctx = KaliContext(2, machine=IDEAL)
+        ctx.array("R", 8, dist=[Replicated()])
+
+        def program(kr):
+            yield from kr.redistribute("R", Block())
+
+        with pytest.raises(DistributionError):
+            ctx.run(program)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(1, 60),
+        p=st.sampled_from([1, 2, 3, 4, 8]),
+        seed=st.integers(0, 100),
+    )
+    def test_random_custom_to_custom(self, n, p, seed):
+        rng = np.random.default_rng(seed)
+        first = Custom(rng.integers(0, p, size=n))
+        second = Custom(rng.integers(0, p, size=n))
+        data = rng.random(n)
+        ctx, _ = run_with_redistribute(n, p, first, second, data=data)
+        np.testing.assert_array_equal(ctx.arrays["A"].data, data)
+
+
+class TestScheduleInvalidation:
+    def test_forall_reanalysed_after_redistribute(self):
+        n, p = 24, 4
+        ctx = KaliContext(p, machine=IDEAL)
+        ctx.array("A", n, dist=[Block()]).set(np.arange(float(n)))
+        shift = Forall(
+            index_range=(0, n - 2),
+            on=OnOwner("A"),
+            reads=[AffineRead("A", Affine(1, 1), name="nxt")],
+            writes=[AffineWrite("A")],
+            kernel=lambda iters, ops: ops["nxt"],
+            label="redist-inval",
+        )
+
+        def program(kr):
+            yield from kr.forall(shift)
+            yield from kr.forall(shift)           # cache hit
+            yield from kr.redistribute("A", Cyclic())
+            yield from kr.forall(shift)           # must re-analyse
+
+        res = ctx.run(program)
+        stats = res.cache_stats()
+        assert stats["hits"] == p
+        assert stats["invalidations"] == p
+        expected = np.arange(float(n))
+        for _ in range(3):
+            nxt = expected.copy()
+            nxt[:-1] = expected[1:]
+            expected = nxt
+        np.testing.assert_array_equal(ctx.arrays["A"].data, expected)
+
+    def test_unrelated_arrays_not_invalidated(self):
+        n, p = 16, 2
+        ctx = KaliContext(p, machine=IDEAL)
+        ctx.array("A", n, dist=[Block()]).set(np.arange(float(n)))
+        ctx.array("B", n, dist=[Block()]).set(np.zeros(n))
+        bump_b = Forall(
+            index_range=(0, n - 1),
+            on=OnOwner("B"),
+            reads=[AffineRead("B", name="b")],
+            writes=[AffineWrite("B")],
+            kernel=lambda iters, ops: ops["b"] + 1,
+            label="redist-unrelated",
+        )
+
+        def program(kr):
+            yield from kr.forall(bump_b)
+            yield from kr.redistribute("A", Cyclic())
+            yield from kr.forall(bump_b)  # B untouched: cache hit
+
+        res = ctx.run(program)
+        assert res.cache_stats()["invalidations"] == 0
+        assert res.cache_stats()["hits"] == p
+
+    def test_costs_charged(self):
+        n, p = 64, 4
+        _, res = run_with_redistribute(n, p, Block(), Cyclic(), machine=NCUBE7)
+        assert res.engine.phase_max("redistribute") > 0
+        assert res.engine.total_bytes() > 0
+
+
+class TestLanguageRedistribute:
+    def test_statement_round_trip(self):
+        src = """
+        processors Procs : array[1..P] with P in 1..8;
+        const n : integer := 18;
+        var A : array[1..n] of real dist by [ block ] on Procs;
+        forall i in 1..n on A[i].loc do
+            A[i] := float(i * i);
+        end;
+        redistribute A by [ cyclic ];
+        forall i in 1..n on A[i].loc do
+            A[i] := A[i] + 1.0;
+        end;
+        """
+        res = compile_kali(src).run(nprocs=4, machine=IDEAL)
+        np.testing.assert_allclose(
+            res.arrays["A"], np.arange(1.0, 19.0) ** 2 + 1
+        )
+
+    def test_redistribute_undistributed_rejected(self):
+        from repro.errors import KaliSemanticError
+
+        src = """
+        processors Procs : array[1..P] with P in 1..8;
+        var R : array[1..4] of real;
+        redistribute R by [ block ];
+        """
+        with pytest.raises(KaliSemanticError):
+            compile_kali(src)
+
+    def test_redistribute_inside_forall_rejected(self):
+        from repro.errors import KaliSemanticError
+
+        src = """
+        processors Procs : array[1..P] with P in 1..8;
+        var A : array[1..8] of real dist by [ block ] on Procs;
+        forall i in 1..8 on A[i].loc do
+            redistribute A by [ cyclic ];
+        end;
+        """
+        with pytest.raises(KaliSemanticError):
+            compile_kali(src)
+
+    def test_block_cyclic_with_runtime_param(self):
+        src = """
+        processors Procs : array[1..P] with P in 1..8;
+        const n : integer := 24;
+        var A : array[1..n] of real dist by [ block ] on Procs;
+        var b : integer;
+        forall i in 1..n on A[i].loc do
+            A[i] := float(i);
+        end;
+        b := 2 + 1;
+        redistribute A by [ block_cyclic(b) ];
+        forall i in 1..n on A[i].loc do
+            A[i] := A[i] * 2.0;
+        end;
+        """
+        res = compile_kali(src).run(nprocs=4, machine=IDEAL)
+        np.testing.assert_allclose(res.arrays["A"], np.arange(1.0, 25.0) * 2)

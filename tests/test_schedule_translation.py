@@ -1,0 +1,190 @@
+"""Tests for range records, coalescing, and translation tables (Fig. 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InspectorError
+from repro.runtime.schedule import ArraySchedule, CommSchedule, RangeRecord, coalesce_ranges
+from repro.runtime.translation import EnumeratedTable, TranslationTable
+
+
+class TestRangeRecord:
+    def test_count(self):
+        assert RangeRecord(0, 1, low=3, high=7).count == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(InspectorError):
+            RangeRecord(0, 1, low=5, high=4)
+
+
+class TestCoalesce:
+    def test_adjacent_offsets_merge(self):
+        recs = coalesce_ranges({2: np.array([5, 6, 7, 10])}, me=0, incoming=True)
+        assert [(r.low, r.high) for r in recs] == [(5, 7), (10, 10)]
+
+    def test_duplicates_removed(self):
+        recs = coalesce_ranges({1: np.array([3, 3, 4, 4])}, me=0, incoming=True)
+        assert [(r.low, r.high) for r in recs] == [(3, 4)]
+        assert recs[0].count == 2
+
+    def test_sorted_by_peer_then_low(self):
+        recs = coalesce_ranges(
+            {3: np.array([0]), 1: np.array([9, 2])}, me=0, incoming=True
+        )
+        keys = [(r.from_proc, r.low) for r in recs]
+        assert keys == sorted(keys)
+
+    def test_buffer_starts_cumulative(self):
+        recs = coalesce_ranges(
+            {1: np.array([0, 1, 5]), 2: np.array([7, 8])}, me=0, incoming=True
+        )
+        starts = [r.buffer_start for r in recs]
+        counts = [r.count for r in recs]
+        assert starts == [0, 2, 3]
+        assert sum(counts) == 5
+
+    def test_outgoing_records_name_me_as_sender(self):
+        recs = coalesce_ranges({4: np.array([1])}, me=2, incoming=False)
+        assert recs[0].from_proc == 2 and recs[0].to_proc == 4
+        assert recs[0].buffer_start == -1
+
+    def test_empty_peer_skipped(self):
+        recs = coalesce_ranges({1: np.array([], dtype=np.int64)}, me=0, incoming=True)
+        assert recs == []
+
+
+def make_table(spec):
+    """spec: {proc: offset list} -> finalized ArraySchedule."""
+    recs = coalesce_ranges(
+        {p: np.asarray(o, dtype=np.int64) for p, o in spec.items()}, me=0, incoming=True
+    )
+    a = ArraySchedule(array="t", in_records=recs)
+    a.finalize()
+    return a
+
+
+class TestTranslationTable:
+    def test_lookup_within_ranges(self):
+        a = make_table({1: [5, 6, 7], 3: [2, 9]})
+        t = a.translation
+        np.testing.assert_array_equal(
+            t.lookup(np.array([1, 1, 3, 3]), np.array([5, 7, 2, 9])), [0, 2, 3, 4]
+        )
+
+    def test_lookup_miss_raises(self):
+        t = make_table({1: [5, 6]}).translation
+        with pytest.raises(InspectorError):
+            t.lookup(np.array([1]), np.array([9]))
+        with pytest.raises(InspectorError):
+            t.lookup(np.array([2]), np.array([5]))
+
+    def test_lookup_below_everything(self):
+        t = make_table({3: [5]}).translation
+        with pytest.raises(InspectorError):
+            t.lookup(np.array([1]), np.array([0]))
+
+    def test_contains(self):
+        t = make_table({1: [5, 6], 2: [0]}).translation
+        np.testing.assert_array_equal(
+            t.contains(np.array([1, 1, 2, 2]), np.array([5, 7, 0, 1])),
+            [True, False, True, False],
+        )
+
+    def test_empty_table(self):
+        a = ArraySchedule(array="t")
+        a.finalize()
+        assert a.translation.lookup(np.array([], dtype=np.int64),
+                                    np.array([], dtype=np.int64)).size == 0
+        with pytest.raises(InspectorError):
+            a.translation.lookup(np.array([0]), np.array([0]))
+
+    def test_num_ranges_counts_coalesced(self):
+        a = make_table({1: [0, 1, 2, 10, 11]})
+        assert a.translation.num_ranges == 2
+        assert a.num_in_ranges() == 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.dictionaries(
+            st.integers(0, 6),
+            st.lists(st.integers(0, 80), min_size=1, max_size=30),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_lookup_is_injective_and_total(self, spec):
+        """Every scheduled (proc, offset) maps to a distinct buffer slot in
+        [0, buffer_len)."""
+        a = make_table(spec)
+        procs, offs = [], []
+        for p, os_ in spec.items():
+            for o in set(os_):
+                procs.append(p)
+                offs.append(o)
+        slots = a.translation.lookup(np.array(procs), np.array(offs))
+        assert len(set(slots.tolist())) == len(slots)
+        assert slots.min() >= 0 and slots.max() < a.buffer_len
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.dictionaries(
+            st.integers(0, 6),
+            st.lists(st.integers(0, 80), min_size=1, max_size=30),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_enumerated_agrees_with_ranges(self, spec):
+        """The Saltz-style enumerated table gives identical slots."""
+        a = make_table(spec)
+        e = EnumeratedTable.from_records(a.in_records)
+        procs, offs = [], []
+        for p, os_ in spec.items():
+            for o in set(os_):
+                procs.append(p)
+                offs.append(o)
+        procs, offs = np.array(procs), np.array(offs)
+        np.testing.assert_array_equal(
+            a.translation.lookup(procs, offs), e.lookup(procs, offs)
+        )
+
+    def test_enumerated_storage_counts_elements(self):
+        a = make_table({1: [0, 1, 2, 3, 10]})
+        e = EnumeratedTable.from_records(a.in_records)
+        assert e.storage_entries() == 5
+
+    def test_enumerated_miss(self):
+        a = make_table({1: [0]})
+        e = EnumeratedTable.from_records(a.in_records)
+        with pytest.raises(InspectorError):
+            e.lookup(np.array([1]), np.array([5]))
+
+
+class TestCommSchedule:
+    def _schedule(self):
+        s = CommSchedule(
+            label="t",
+            rank=0,
+            exec_local=np.array([0, 1]),
+            exec_nonlocal=np.array([2]),
+        )
+        s.arrays["x"] = make_table({1: [0, 1], 2: [5]})
+        s.arrays["x"].out_records = [RangeRecord(0, 1, 3, 4)]
+        return s
+
+    def test_totals(self):
+        s = self._schedule()
+        assert s.total_in_elements() == 3
+        assert s.total_out_elements() == 2
+        assert s.num_exec() == 3
+
+    def test_enumerate_translations(self):
+        s = self._schedule()
+        s.enumerate_translations()
+        assert s.translation_kind == "enumerated"
+        assert isinstance(s.arrays["x"].translation, EnumeratedTable)
+
+    def test_describe_mentions_array(self):
+        assert "x" in self._schedule().describe()

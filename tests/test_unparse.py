@@ -1,0 +1,197 @@
+"""Round-trip tests for the Kali pretty-printer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.parser import parse
+from repro.lang.unparse import unparse, unparse_expr
+
+FIG4 = """
+processors Procs: array[1..P] with P in 1..n;
+const n : integer := 64;
+var a, old_a: array[1..n ] of real dist by [ block ] on Procs;
+    count : array[ 1..n ] of integer dist by [ block ] on Procs;
+    adj : array[ 1..n, 1..4 ] of integer dist by [ block, * ] on Procs;
+    coef : array[ 1..n, 1..4 ] of real dist by [ block, * ] on Procs;
+var converged : boolean;
+var maxdiff : real;
+
+while ( not converged ) do
+    forall i in 1..n on old_a[i].loc do
+        old_a[i] := a[i];
+    end;
+    forall i in 1..n on a[i].loc do
+        var x : real;
+        x := 0.0;
+        for j in 1..count[i] do
+            x := x + coef[i,j] * old_a[ adj[i,j] ];
+        end;
+        if (count[i] > 0) then a[i] := x; end;
+    end;
+    maxdiff := 0.0;
+    forall i in 1..n on a[i].loc do
+        maxdiff := max(maxdiff, abs(a[i] - old_a[i]));
+    end;
+    converged := maxdiff < 0.001;
+end;
+redistribute a by [ cyclic ];
+print("done", maxdiff);
+"""
+
+
+def roundtrip(src: str) -> None:
+    """unparse must be a fixpoint: parse -> print -> parse -> print."""
+    once = unparse(parse(src))
+    twice = unparse(parse(once))
+    assert once == twice
+
+
+class TestRoundTrip:
+    def test_figure4(self):
+        roundtrip(FIG4)
+
+    def test_empty_program(self):
+        assert unparse(parse("")).strip() == ""
+
+    def test_declarations_only(self):
+        roundtrip("processors Q : array[1..8];\nconst k : integer := 2;\n")
+
+    def test_block_cyclic_param(self):
+        roundtrip(
+            "processors Q : array[1..P] with P in 1..4;\n"
+            "var A : array[1..10] of real dist by [block_cyclic(2 + 1)] on Q;\n"
+            "redistribute A by [ block_cyclic(4) ];"
+        )
+
+    def test_if_else(self):
+        roundtrip(
+            "var x : real;\n"
+            "if x > 0.0 then x := 1.0; else x := 2.0; end;"
+        )
+
+    def test_direct_on_clause(self):
+        roundtrip(
+            "processors Q : array[1..P] with P in 1..4;\n"
+            "var A : array[1..8] of real dist by [cyclic] on Q;\n"
+            "forall i in 1..8 on Q[i] do A[i] := 0.0; end;"
+        )
+
+    def test_output_reparses_semantically(self):
+        """The printed program must run identically to the original."""
+        from repro.lang import compile_kali
+        from repro.machine.cost import IDEAL
+
+        src = (
+            "processors Procs : array[1..P] with P in 1..8;\n"
+            "const n : integer := 12;\n"
+            "var A : array[1..n] of real dist by [ block ] on Procs;\n"
+            "forall i in 1..n on A[i].loc do A[i] := float(i) * 3.0; end;\n"
+            "forall i in 1..n-1 on A[i].loc do A[i] := A[i+1]; end;\n"
+        )
+        r1 = compile_kali(src).run(nprocs=4, machine=IDEAL)
+        printed = unparse(parse(src))
+        r2 = compile_kali(printed).run(nprocs=4, machine=IDEAL)
+        np.testing.assert_array_equal(r1.arrays["A"], r2.arrays["A"])
+
+
+class TestPrecedence:
+    """Minimal parenthesisation must preserve evaluation order."""
+
+    def _expr_roundtrip(self, text):
+        src = f"var x : real; k : integer;\nx := {text};"
+        prog = parse(src)
+        printed = unparse_expr(prog.stmts[0].value)
+        reparsed = parse(f"var x : real; k : integer;\nx := {printed};")
+        assert unparse_expr(reparsed.stmts[0].value) == printed
+
+    @pytest.mark.parametrize("text", [
+        "1.0 + 2.0 * 3.0",
+        "(1.0 + 2.0) * 3.0",
+        "1.0 - (2.0 - 3.0)",
+        "1.0 - 2.0 - 3.0",
+        "-(x + 1.0)",
+        "-x + 1.0",
+        "2.0 * (x + 1.0) / 4.0",
+        "x > 0.0 and x < 1.0 or x = 5.0",
+        "not (x > 0.0)",
+        "abs(x - 1.0) + max(x, 0.0)",
+        "1 + 2 mod 3",
+        "(1 + 2) mod 3",
+    ])
+    def test_shapes(self, text):
+        self._expr_roundtrip(text)
+
+
+# --- hypothesis: random expression round-trips ----------------------------------
+
+def exprs(depth=0):
+    base = st.one_of(
+        st.integers(0, 99).map(lambda v: f"{v}"),
+        st.sampled_from(["x", "k"]),
+    )
+    if depth >= 3:
+        return base
+    sub = exprs(depth + 1)
+    return st.one_of(
+        base,
+        st.tuples(st.sampled_from(["+", "-", "*", "div", "mod"]), sub, sub).map(
+            lambda t: f"({t[1]} {t[0]} {t[2]})"
+        ),
+        sub.map(lambda e: f"(-{e})"),
+        st.tuples(sub, sub).map(lambda t: f"max({t[0]}, {t[1]})"),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(exprs())
+def test_random_expression_fixpoint(text):
+    src = f"var x : integer; k : integer;\nx := {text};"
+    once = unparse(parse(src))
+    twice = unparse(parse(once))
+    assert once == twice
+
+
+@settings(max_examples=40, deadline=None)
+@given(exprs())
+def test_random_expression_value_preserved(text):
+    """Evaluation of the printed expression equals the original (over a
+    sample of variable assignments), i.e. parenthesisation is sound."""
+    import math
+
+    src = f"var x : integer; k : integer;\nx := {text};"
+    prog = parse(src)
+    printed = unparse_expr(prog.stmts[0].value)
+    reparsed = parse(f"var x : integer; k : integer;\nx := {printed};")
+
+    from repro.lang.lower import _binop, _call
+    from repro.lang import ast as A
+
+    def ev(e, envv):
+        if isinstance(e, A.NumLit):
+            return e.value
+        if isinstance(e, A.Name):
+            return envv[e.ident]
+        if isinstance(e, A.UnOp):
+            return -ev(e.operand, envv)
+        if isinstance(e, A.BinOp):
+            return _binop(e.op, ev(e.left, envv), ev(e.right, envv))
+        if isinstance(e, A.Call):
+            v = _call(e.func, [ev(a, envv) for a in e.args])
+            # np.maximum returns NumPy scalars; convert so that a later
+            # division by zero raises (Python semantics) instead of
+            # warning and propagating nan.
+            import numpy as _np
+
+            return v.item() if isinstance(v, _np.generic) else v
+        raise AssertionError(e)
+
+    for x in (0, 3, -7):
+        envv = {"x": x, "k": 5}
+        try:
+            v1 = ev(prog.stmts[0].value, envv)
+            v2 = ev(reparsed.stmts[0].value, envv)
+        except ZeroDivisionError:
+            continue
+        assert v1 == v2

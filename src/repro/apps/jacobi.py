@@ -108,6 +108,7 @@ def build_jacobi(
     cache_enabled: bool = True,
     force_strategy=None,
     translation: str = "ranges",
+    trace: bool = False,
 ) -> JacobiProgram:
     """Declare the Figure 4 arrays and foralls on a fresh context.
 
@@ -123,6 +124,7 @@ def build_jacobi(
         cache_enabled=cache_enabled,
         force_strategy=force_strategy,
         translation=translation,
+        trace=trace,
     )
     n, width = mesh.n, mesh.width
 

@@ -2,12 +2,18 @@
 
 Options: ``--fast`` shrinks the largest meshes (64..256 instead of
 64..1024) for a quick smoke run; ``--full`` verifies by running all 100
-sweeps instead of extrapolating from 3.
+sweeps instead of extrapolating from 3; ``--metrics-dir DIR`` writes a
+structured ``<experiment>.metrics.json`` next to each rendered table so
+downstream tooling (regression tracking, ``repro.obs`` dashboards) can
+consume the numbers without re-parsing ASCII.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
+import pathlib
 import sys
 import time
 
@@ -29,11 +35,26 @@ from repro.bench import (
 from repro.machine.cost import IPSC2, NCUBE7
 
 
+def _rows_to_jsonable(rows):
+    """Experiment rows (dataclasses, dicts, scalars) -> plain JSON data."""
+    if isinstance(rows, dict):
+        return rows
+    out = []
+    for row in rows:
+        if dataclasses.is_dataclass(row):
+            out.append(dataclasses.asdict(row))
+        else:
+            out.append(row)
+    return out
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fast", action="store_true", help="small meshes only")
     ap.add_argument("--full", action="store_true",
                     help="run all 100 sweeps (no extrapolation)")
+    ap.add_argument("--metrics-dir", default=None, metavar="DIR",
+                    help="also write <experiment>.metrics.json files here")
     args = ap.parse_args(argv)
 
     measured = cal.PAPER_SWEEPS if args.full else None
@@ -41,73 +62,119 @@ def main(argv=None) -> int:
 
     t0 = time.time()
 
-    print(processor_table(
-        "E1  (paper Fig. 7)  NCUBE/7, 128x128 mesh, 100 sweeps",
-        processor_scaling(NCUBE7, cal.NCUBE_PROC_COUNTS,
-                          measured_sweeps=measured),
-        cal.PAPER_NCUBE_PROCS,
+    # (slug, table text, structured rows) per experiment, in paper order.
+    experiments = []
+
+    rows = processor_scaling(NCUBE7, cal.NCUBE_PROC_COUNTS,
+                             measured_sweeps=measured)
+    experiments.append((
+        "E1_ncube_procs",
+        processor_table("E1  (paper Fig. 7)  NCUBE/7, 128x128 mesh, 100 sweeps",
+                        rows, cal.PAPER_NCUBE_PROCS),
+        rows,
     ))
-    print()
-    print(processor_table(
-        "E2  (paper Fig. 8)  iPSC/2, 128x128 mesh, 100 sweeps",
-        processor_scaling(IPSC2, cal.IPSC_PROC_COUNTS,
-                          measured_sweeps=measured),
-        cal.PAPER_IPSC_PROCS,
+
+    rows = processor_scaling(IPSC2, cal.IPSC_PROC_COUNTS,
+                             measured_sweeps=measured)
+    experiments.append((
+        "E2_ipsc_procs",
+        processor_table("E2  (paper Fig. 8)  iPSC/2, 128x128 mesh, 100 sweeps",
+                        rows, cal.PAPER_IPSC_PROCS),
+        rows,
     ))
-    print()
-    print(size_table(
-        "E3  (paper Fig. 9)  NCUBE/7, 128 processors, varying mesh",
-        size_scaling(NCUBE7, cal.NCUBE_SIZE_PROCS, mesh_sides=sides,
-                     measured_sweeps=measured),
-        cal.PAPER_NCUBE_SIZES,
+
+    rows = size_scaling(NCUBE7, cal.NCUBE_SIZE_PROCS, mesh_sides=sides,
+                        measured_sweeps=measured)
+    experiments.append((
+        "E3_ncube_sizes",
+        size_table("E3  (paper Fig. 9)  NCUBE/7, 128 processors, varying mesh",
+                   rows, cal.PAPER_NCUBE_SIZES),
+        rows,
     ))
-    print()
-    print(size_table(
-        "E4  (paper Fig. 10)  iPSC/2, 32 processors, varying mesh",
-        size_scaling(IPSC2, cal.IPSC_SIZE_PROCS, mesh_sides=sides,
-                     measured_sweeps=measured),
-        cal.PAPER_IPSC_SIZES,
+
+    rows = size_scaling(IPSC2, cal.IPSC_SIZE_PROCS, mesh_sides=sides,
+                        measured_sweeps=measured)
+    experiments.append((
+        "E4_ipsc_sizes",
+        size_table("E4  (paper Fig. 10)  iPSC/2, 32 processors, varying mesh",
+                   rows, cal.PAPER_IPSC_SIZES),
+        rows,
     ))
-    print()
-    print(overhead_table(
-        "E5  (§4 text)  single-sweep inspector overhead, NCUBE/7 "
-        "(paper: 45%..93%)",
-        single_sweep_overhead(NCUBE7, cal.NCUBE_PROC_COUNTS),
+
+    rows = single_sweep_overhead(NCUBE7, cal.NCUBE_PROC_COUNTS)
+    experiments.append((
+        "E5_single_sweep_ncube",
+        overhead_table("E5  (§4 text)  single-sweep inspector overhead, "
+                       "NCUBE/7 (paper: 45%..93%)", rows),
+        rows,
     ))
-    print()
-    print(overhead_table(
-        "E5  (§4 text)  single-sweep inspector overhead, iPSC/2 "
-        "(paper: 35%..41%)",
-        single_sweep_overhead(IPSC2, cal.IPSC_PROC_COUNTS),
+
+    rows = single_sweep_overhead(IPSC2, cal.IPSC_PROC_COUNTS)
+    experiments.append((
+        "E5_single_sweep_ipsc",
+        overhead_table("E5  (§4 text)  single-sweep inspector overhead, "
+                       "iPSC/2 (paper: 35%..41%)", rows),
+        rows,
     ))
-    print()
-    print(ablation_table(
-        "A1  schedule caching vs re-inspection (Rogers & Pingali, §5), "
-        "NCUBE/7 P=16, 64x64",
-        caching_ablation(NCUBE7, 16, [1, 10, 100]),
-        ["cached_total", "uncached_total", "ratio"],
-        key_header="sweeps",
+
+    rows = caching_ablation(NCUBE7, 16, [1, 10, 100])
+    experiments.append((
+        "A1_caching",
+        ablation_table("A1  schedule caching vs re-inspection (Rogers & "
+                       "Pingali, §5), NCUBE/7 P=16, 64x64", rows,
+                       ["cached_total", "uncached_total", "ratio"],
+                       key_header="sweeps"),
+        rows,
     ))
-    print()
-    print(dict_table(
-        "A2  sorted ranges vs Saltz enumeration (§5), NCUBE/7 P=32, 128x128",
-        translation_ablation(NCUBE7, 32),
+
+    rows = translation_ablation(NCUBE7, 32)
+    experiments.append((
+        "A2_translation",
+        dict_table("A2  sorted ranges vs Saltz enumeration (§5), NCUBE/7 "
+                   "P=32, 128x128", rows),
+        rows,
     ))
-    print()
-    print(ablation_table(
-        "A3  Kali vs hand-coded message passing (§1), NCUBE/7 128x128",
-        handcoded_ablation(NCUBE7, [2, 8, 32, 128]),
-        ["kali_executor", "handcoded_executor", "kali_overhead"],
-        key_header="procs",
+
+    rows = handcoded_ablation(NCUBE7, [2, 8, 32, 128])
+    experiments.append((
+        "A3_handcoded",
+        ablation_table("A3  Kali vs hand-coded message passing (§1), "
+                       "NCUBE/7 128x128", rows,
+                       ["kali_executor", "handcoded_executor", "kali_overhead"],
+                       key_header="procs"),
+        rows,
     ))
-    print()
-    print(ablation_table(
-        "A4  distribution patterns, one-line change (§2.4), NCUBE/7 P=16, 64x64",
-        distribution_ablation(NCUBE7, 16),
-        ["total", "executor", "inspector", "remote_refs_per_sweep"],
-        key_header="dist",
+
+    rows = distribution_ablation(NCUBE7, 16)
+    experiments.append((
+        "A4_distributions",
+        ablation_table("A4  distribution patterns, one-line change (§2.4), "
+                       "NCUBE/7 P=16, 64x64", rows,
+                       ["total", "executor", "inspector",
+                        "remote_refs_per_sweep"],
+                       key_header="dist"),
+        rows,
     ))
-    print()
+
+    metrics_dir = pathlib.Path(args.metrics_dir) if args.metrics_dir else None
+    if metrics_dir is not None:
+        metrics_dir.mkdir(parents=True, exist_ok=True)
+
+    for slug, text, rows in experiments:
+        print(text)
+        print()
+        if metrics_dir is not None:
+            doc = {
+                "experiment": slug,
+                "fast": args.fast,
+                "full": args.full,
+                "rows": _rows_to_jsonable(rows),
+            }
+            path = metrics_dir / f"{slug}.metrics.json"
+            path.write_text(json.dumps(doc, indent=2) + "\n")
+            print(f"[metrics written to {path}]")
+            print()
+
     print(f"[all tables regenerated in {time.time() - t0:.1f}s wall]")
     return 0
 

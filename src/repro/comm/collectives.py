@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional
 
-from repro.machine.api import Compute, Rank, Recv, Send
+from repro.machine.api import Compute, Count, Rank, Recv, Send
 
 # Tags are offset into a reserved space so user point-to-point traffic
 # (small non-negative tags) never collides with collective internals.
@@ -35,6 +35,7 @@ def barrier(rank: Rank, tag: int = 0, phase: str = "barrier"):
     size, me = rank.size, rank.id
     if size == 1:
         return
+    yield Count("collective_calls", 1)
     t = _BASE_TAG + 0x1000 + tag
     step = 1
     while step < size:
@@ -56,6 +57,7 @@ def bcast(rank: Rank, value: Any, root: int = 0, tag: int = 0, phase: str = "bca
     t = _BASE_TAG + 0x2000 + tag
     if size == 1:
         return value
+    yield Count("collective_calls", 1)
     rel = (me - root) % size
     if rel != 0:
         parent_rel = rel - (1 << (rel.bit_length() - 1))
@@ -89,6 +91,7 @@ def reduce(
     t = _BASE_TAG + 0x3000 + tag
     if size == 1:
         return value
+    yield Count("collective_calls", 1)
     rel = (me - root) % size
     mask = 1
     while mask < size:
@@ -120,6 +123,7 @@ def allreduce(
     t = _BASE_TAG + 0x4000 + tag
     if size == 1:
         return value
+    yield Count("collective_calls", 1)
     core = _largest_pow2_leq(size)
     # Fold excess ranks (>= core) into their partner below core.
     if me >= core:
@@ -158,6 +162,7 @@ def gather(rank: Rank, value: Any, root: int = 0, tag: int = 0, phase: str = "ga
     t = _BASE_TAG + 0x5000 + tag
     if size == 1:
         return [value]
+    yield Count("collective_calls", 1)
     rel = (me - root) % size
     acc = {me: value}
     mask = 1
@@ -187,6 +192,7 @@ def allgather(rank: Rank, value: Any, tag: int = 0, phase: str = "allgather"):
     t = _BASE_TAG + 0x6000 + tag
     if size == 1:
         return [value]
+    yield Count("collective_calls", 1)
     core = _largest_pow2_leq(size)
     acc = {me: value}
     if me >= core:
@@ -227,6 +233,8 @@ def alltoall(
     if len(payloads) != size:
         raise ValueError(f"alltoall needs {size} payloads, got {len(payloads)}")
     t = _BASE_TAG + 0x7000 + tag
+    if size > 1:
+        yield Count("collective_calls", 1)
     result: List[Any] = [None] * size
     result[me] = payloads[me]
     for round_ in range(1, size):
@@ -249,6 +257,8 @@ def scan(
     """Inclusive prefix reduction (Hillis-Steele over ranks)."""
     size, me = rank.size, rank.id
     t = _BASE_TAG + 0x8000 + tag
+    if size > 1:
+        yield Count("collective_calls", 1)
     acc = value
     step = 1
     while step < size:

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Tuple
 
 from repro.errors import CommunicationError
-from repro.machine.api import Compute, Rank, Recv, Send, payload_nbytes
+from repro.machine.api import Compute, Count, Rank, Recv, Send, payload_nbytes
 from repro.util.gray import is_power_of_two, log2_exact
 
 _CRYSTAL_TAG = 1 << 21
@@ -76,6 +76,8 @@ def crystal_route(
         ship = [p for p in pending if (p[0] ^ me) & bit]
         keep = [p for p in pending if not ((p[0] ^ me) & bit)]
         nbytes = sum(payload_nbytes(p[2]) for p in ship) + 12 * len(ship)
+        yield Count("crystal_rounds", 1)
+        yield Count("crystal_bytes", nbytes)
         yield Send(dest=partner, payload=ship, tag=t + d, nbytes=nbytes, phase=phase)
         msg = yield Recv(source=partner, tag=t + d, phase=phase)
         arrived: List[Tuple[int, int, Any]] = msg.payload

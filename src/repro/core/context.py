@@ -35,7 +35,7 @@ from repro.core.forall import Forall
 from repro.distributions.base import DimDistribution
 from repro.distributions.procs import ProcessorArray
 from repro.errors import ForallError, KaliError
-from repro.machine.api import Compute, Rank
+from repro.machine.api import Compute, Count as ApiCount, Rank
 from repro.machine.cost import MachineModel, NCUBE7
 from repro.machine.engine import Engine
 from repro.machine.stats import RunResult
@@ -105,6 +105,8 @@ class KaliRank:
         (None when it has none).
         """
         schedule = self.cache.lookup(loop, self.env)
+        for cname, amount in self.cache.take_counts().items():
+            yield ApiCount(cname, amount)
         if schedule is None:
             strategy = self.force_strategy or choose_strategy(loop, self.env)
             if strategy is Strategy.COMPILE_TIME:
@@ -211,6 +213,11 @@ class KaliRunResult:
     def makespan(self) -> float:
         return self.engine.makespan
 
+    @property
+    def trace(self):
+        """Trace events when the context ran with ``trace=True`` (else None)."""
+        return self.engine.trace
+
     def cache_stats(self) -> Dict[str, int]:
         return {
             "hits": sum(k.cache.hits for k in self.kranks),
@@ -244,6 +251,7 @@ class KaliContext:
         force_strategy: Optional[Strategy] = None,
         translation: str = "ranges",
         combine_messages: bool = True,
+        trace: bool = False,
     ):
         self.procs = procs or ProcessorArray(nprocs)
         if self.procs.size != nprocs:
@@ -260,6 +268,7 @@ class KaliContext:
         self.force_strategy = force_strategy
         self.translation = translation
         self.combine_messages = combine_messages
+        self.trace = trace
         self.arrays: Dict[str, DistributedArray] = {}
 
     # --- declarations ------------------------------------------------------
@@ -311,7 +320,8 @@ class KaliContext:
             result = yield from gen
             return result
 
-        engine = Engine(self.machine, topology=self.topology, nranks=self.procs.size)
+        engine = Engine(self.machine, topology=self.topology,
+                        nranks=self.procs.size, trace=self.trace)
         engine_result = engine.run(rank_main)
 
         # Gather per-rank pieces back into the driver-side global arrays.

@@ -70,6 +70,7 @@ class Send(Op):
     tag: int = 0
     nbytes: Optional[int] = None
     phase: str = DEFAULT_PHASE
+    label: str = ""
 
     def wire_size(self) -> int:
         return self.nbytes if self.nbytes is not None else payload_nbytes(self.payload)
@@ -87,6 +88,7 @@ class Recv(Op):
     source: int = ANY_SOURCE
     tag: int = ANY_TAG
     phase: str = DEFAULT_PHASE
+    label: str = ""
 
 
 @dataclass
@@ -95,6 +97,7 @@ class Compute(Op):
 
     seconds: float
     phase: str = DEFAULT_PHASE
+    label: str = ""
 
     def __post_init__(self):
         if self.seconds < 0:

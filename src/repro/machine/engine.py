@@ -177,7 +177,8 @@ class Engine:
         def deliver(state: _RankState, recv: Recv, msg: Message) -> None:
             consume(msg)
             wait_start = state.clock
-            completion = max(state.clock, msg.arrival) + self.machine.recv_busy(msg.nbytes)
+            busy_start = max(state.clock, msg.arrival)
+            completion = busy_start + self.machine.recv_busy(msg.nbytes)
             state.stats.charge(recv.phase, completion - wait_start)
             state.clock = completion
             state.stats.messages_received += 1
@@ -187,7 +188,8 @@ class Engine:
                 trace_events.append(TraceEvent(
                     rank=state.rank_id, kind="recv", start=wait_start,
                     end=completion, phase=recv.phase, peer=msg.source,
-                    tag=msg.tag, nbytes=msg.nbytes,
+                    tag=msg.tag, nbytes=msg.nbytes, label=recv.label,
+                    seq=msg.seq, busy_start=busy_start,
                 ))
 
         def step(state: _RankState) -> None:
@@ -211,7 +213,7 @@ class Engine:
                         trace_events.append(TraceEvent(
                             rank=state.rank_id, kind="compute",
                             start=state.clock, end=state.clock + op.seconds,
-                            phase=op.phase,
+                            phase=op.phase, label=op.label,
                         ))
                     state.clock += op.seconds
                     state.stats.charge(op.phase, op.seconds)
@@ -224,7 +226,7 @@ class Engine:
                             rank=state.rank_id, kind="send",
                             start=state.clock, end=state.clock + busy,
                             phase=op.phase, peer=op.dest, tag=op.tag,
-                            nbytes=nbytes,
+                            nbytes=nbytes, label=op.label, seq=seq_counter,
                         ))
                     state.clock += busy
                     state.stats.charge(op.phase, busy)
@@ -304,13 +306,12 @@ class Engine:
                     {s.rank_id: (s.waiting.source, s.waiting.tag) for s in blocked}
                 )
 
-        undelivered = sum(len(q) for q in mailbox.values())
-        if undelivered:
-            # Leftover messages are not an error per se (MPI allows it), but
-            # they usually indicate a bug in generated schedules; record it.
-            for s in states:
-                s.stats.count("undelivered_messages", 0)
-            states[0].stats.count("undelivered_messages", undelivered)
+        # Leftover messages are not an error per se (MPI allows it), but
+        # they usually indicate a bug in generated schedules; charge each
+        # count to the rank the messages were addressed to.
+        for (dst, _src, _tag), q in mailbox.items():
+            if q:
+                states[dst].stats.count("undelivered_messages", len(q))
 
         if trace_events is not None:
             for s_ in states:

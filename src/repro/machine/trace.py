@@ -6,6 +6,15 @@ carries a list of :class:`TraceEvent` records, and
 handy when debugging generated schedules (who waited on whom, where a
 deadlock built up, how phases interleave).
 
+Receive events carry ``busy_start``: the instant the awaited message was
+actually available, splitting the span into *wait* (``start ..
+busy_start``, the rank was idle) and *busy* (``busy_start .. end``, the
+rank drained the message).  Send/recv events also carry the engine's
+message sequence number (``seq``), which pairs each receive with the
+exact send that produced its message — the basis for the flow arrows in
+:mod:`repro.obs.chrome_trace` and the dependency walk in
+:mod:`repro.obs.critical_path`.
+
 Tracing exists for diagnosis, not measurement: it changes no virtual
 times and is off by default.
 """
@@ -22,6 +31,12 @@ class TraceEvent:
 
     kind is one of ``compute``, ``send``, ``recv`` (completion, with the
     wait included in [start, end]), or ``finish``.
+
+    ``label`` is the schedule label the op was issued under (the forall
+    label for runtime-generated communication, empty otherwise).  For
+    ``recv`` events ``busy_start`` marks the end of the wait portion and
+    ``seq`` identifies the matched message; for ``send`` events ``seq``
+    is the sequence number of the message injected.
     """
 
     rank: int
@@ -32,19 +47,41 @@ class TraceEvent:
     peer: Optional[int] = None
     tag: Optional[int] = None
     nbytes: int = 0
+    label: str = ""
+    seq: Optional[int] = None
+    busy_start: Optional[float] = None
+
+    @property
+    def wait_time(self) -> float:
+        """Idle wait inside a recv span (0 for every other kind)."""
+        if self.kind == "recv" and self.busy_start is not None:
+            return max(self.busy_start - self.start, 0.0)
+        return 0.0
+
+    @property
+    def busy_time(self) -> float:
+        """Occupied time: the full span minus any recv wait."""
+        return (self.end - self.start) - self.wait_time
 
     def describe(self) -> str:
         extra = ""
         if self.peer is not None:
             arrow = "->" if self.kind == "send" else "<-"
             extra = f" {arrow} rank {self.peer} (tag {self.tag}, {self.nbytes}B)"
+        what = self.phase if not self.label else f"{self.phase}:{self.label}"
         return (
             f"[{self.start:.6f}..{self.end:.6f}] rank {self.rank} "
-            f"{self.kind}{extra} ({self.phase})"
+            f"{self.kind}{extra} ({what})"
         )
 
 
-_KIND_GLYPH = {"compute": "#", "send": ">", "recv": "<", "finish": "|"}
+_KIND_GLYPH = {
+    "compute": "#",
+    "send": ">",
+    "recv": "<",
+    "recv_wait": "-",
+    "finish": "|",
+}
 
 
 def render_timeline(
@@ -56,7 +93,9 @@ def render_timeline(
 
     Each row is a rank; columns are equal slices of virtual time.  The
     glyph shows what dominated the slice: ``#`` compute, ``>`` send,
-    ``<`` receive (including wait), ``.`` idle.
+    ``<`` receive drain, ``-`` recv wait (rank idle, message in flight),
+    ``.`` idle.  A ``|`` marks each rank's finish instant, so ranks that
+    complete long before the makespan stay visible.
     """
     if not events:
         return "(no trace events)"
@@ -66,17 +105,28 @@ def render_timeline(
     ranks = nranks if nranks is not None else max(e.rank for e in events) + 1
     # For each (rank, column), pick the kind with the most time in it.
     grid = [[{} for _ in range(width)] for _ in range(ranks)]
+    finish_col = [None] * ranks
     scale = width / t_end
+
+    def paint(rank: int, kind: str, start: float, end: float) -> None:
+        c0 = min(int(start * scale), width - 1)
+        c1 = min(int(end * scale), width - 1)
+        for c in range(c0, c1 + 1):
+            cell = grid[rank][c]
+            lo = max(start, c / scale)
+            hi = min(end, (c + 1) / scale)
+            cell[kind] = cell.get(kind, 0.0) + max(hi - lo, 1e-12)
+
     for e in events:
         if e.kind == "finish":
+            finish_col[e.rank] = min(int(e.start * scale), width - 1)
             continue
-        c0 = min(int(e.start * scale), width - 1)
-        c1 = min(int(e.end * scale), width - 1)
-        for c in range(c0, c1 + 1):
-            cell = grid[e.rank][c]
-            lo = max(e.start, c / scale)
-            hi = min(e.end, (c + 1) / scale)
-            cell[e.kind] = cell.get(e.kind, 0.0) + max(hi - lo, 1e-12)
+        if e.kind == "recv" and e.busy_start is not None and e.wait_time > 0:
+            paint(e.rank, "recv_wait", e.start, e.busy_start)
+            paint(e.rank, "recv", e.busy_start, e.end)
+        else:
+            paint(e.rank, e.kind, e.start, e.end)
+
     lines = [f"virtual time 0 .. {t_end:.6f}s ({width} columns)"]
     for r in range(ranks):
         row = []
@@ -87,8 +137,12 @@ def render_timeline(
             else:
                 kind = max(cell, key=cell.get)
                 row.append(_KIND_GLYPH.get(kind, "?"))
+        if finish_col[r] is not None:
+            row[finish_col[r]] = "|"
         lines.append(f"rank {r:3d} |{''.join(row)}|")
-    lines.append("legend: # compute   > send   < recv/wait   . idle")
+    lines.append(
+        "legend: # compute   > send   < recv   - recv wait   | finish   . idle"
+    )
     return "\n".join(lines)
 
 

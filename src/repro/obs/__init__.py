@@ -1,0 +1,69 @@
+"""Observability: structured telemetry for simulated runs.
+
+Everything the engine can record about a run — phase clocks, counters,
+traces — becomes exportable and explorable here:
+
+* :mod:`repro.obs.spans`         — recv wait/busy splitting, send↔recv
+  pairing, per-rank utilisation,
+* :mod:`repro.obs.chrome_trace`  — Chrome/Perfetto ``trace_event`` JSON
+  export with flow arrows for every message,
+* :mod:`repro.obs.commgraph`     — per-rank-pair communication matrix,
+  ASCII heatmap, hotspot summary,
+* :mod:`repro.obs.critical_path` — the longest virtual-time dependency
+  chain and who sits on it,
+* :mod:`repro.obs.registry`      — a flat metrics registry (JSON /
+  JSON-lines / CSV) plus the run-file format,
+* ``python -m repro.obs``        — capture / report / chrome CLI.
+
+Typical flow::
+
+    python -m repro.obs capture -o run.json        # traced Jacobi run
+    python -m repro.obs report run.json            # timeline, heatmap, path
+    python -m repro.obs chrome run.json -o t.json  # open in ui.perfetto.dev
+"""
+
+from repro.obs.chrome_trace import (
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.commgraph import CommMatrix, ascii_heatmap, render_hotspots
+from repro.obs.critical_path import CriticalPath, PathStep, critical_path
+from repro.obs.registry import (
+    MetricsRegistry,
+    read_run_json,
+    run_from_dict,
+    run_to_dict,
+    write_run_json,
+)
+from repro.obs.spans import (
+    RankActivity,
+    Span,
+    build_spans,
+    pair_messages,
+    rank_activity,
+    render_activity,
+)
+
+__all__ = [
+    "Span",
+    "RankActivity",
+    "build_spans",
+    "pair_messages",
+    "rank_activity",
+    "render_activity",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "CommMatrix",
+    "ascii_heatmap",
+    "render_hotspots",
+    "CriticalPath",
+    "PathStep",
+    "critical_path",
+    "MetricsRegistry",
+    "run_to_dict",
+    "run_from_dict",
+    "write_run_json",
+    "read_run_json",
+]

@@ -1,0 +1,209 @@
+"""Observability CLI: ``python -m repro.obs <command>``.
+
+Commands
+--------
+``capture``  run a traced Jacobi workload and write a run file::
+
+    python -m repro.obs capture --procs 8 --rows 16 --cols 16 -o run.json
+
+``report``   render telemetry from a run file (phase table, rank
+utilisation, ASCII timeline, comm heatmap + hotspots, critical path)::
+
+    python -m repro.obs report run.json
+
+``chrome``   export the trace as Chrome/Perfetto ``trace_event`` JSON::
+
+    python -m repro.obs chrome run.json -o trace.json
+    # then load trace.json at https://ui.perfetto.dev
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.machine.stats import RunResult
+from repro.machine.trace import render_timeline
+from repro.obs.chrome_trace import validate_chrome_trace, write_chrome_trace
+from repro.obs.commgraph import CommMatrix, ascii_heatmap, render_hotspots
+from repro.obs.critical_path import critical_path
+from repro.obs.registry import (
+    MetricsRegistry,
+    run_from_dict,
+    write_run_json,
+)
+from repro.obs.spans import rank_activity, render_activity
+
+
+def phase_table(result: RunResult) -> str:
+    """The paper-style phase table: max/sum/share per charged phase."""
+    lines = [
+        f"{'phase':<16} {'max (s)':>12} {'sum (s)':>12} {'% makespan':>10}"
+    ]
+    makespan = result.makespan
+    for phase in result.phases():
+        pmax = result.phase_max(phase)
+        share = 100.0 * pmax / makespan if makespan else 0.0
+        lines.append(
+            f"{phase:<16} {pmax:>12.6f} {result.phase_sum(phase):>12.6f} "
+            f"{share:>9.1f}%"
+        )
+    lines.append(
+        f"{'makespan':<16} {makespan:>12.6f} "
+        f"{sum(result.clocks):>12.6f} {100.0:>9.1f}%"
+    )
+    return "\n".join(lines)
+
+
+class CliError(Exception):
+    """A user-facing CLI failure: printed as one line, exit status 2."""
+
+
+def _load(path: str):
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise CliError(f"cannot read run file: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise CliError(f"{path} is not valid JSON: {exc}") from exc
+    try:
+        return run_from_dict(doc), doc.get("meta", {})
+    except ValueError as exc:
+        raise CliError(f"{path}: {exc}") from exc
+
+
+def _section(title: str) -> str:
+    return f"\n== {title} " + "=" * max(0, 66 - len(title))
+
+
+def cmd_report(args) -> int:
+    result, meta = _load(args.run)
+    if meta:
+        print("run:", "  ".join(f"{k}={v}" for k, v in sorted(meta.items())))
+    print(_section("phase table"))
+    print(phase_table(result))
+    print(_section("metrics"))
+    print(MetricsRegistry.from_run(result).render_table())
+    if result.trace is None:
+        print("\n(run file has no trace: timeline, comm matrix and critical "
+              "path need a run captured with trace enabled)")
+        return 0
+    print(_section("rank activity"))
+    print(render_activity(rank_activity(result.trace, nranks=result.nranks)))
+    print(_section("timeline"))
+    print(render_timeline(result.trace, width=args.width, nranks=result.nranks))
+    matrix = CommMatrix.from_trace(result.trace, nranks=result.nranks)
+    print(_section("communication matrix"))
+    print(ascii_heatmap(matrix, mode="bytes"))
+    print()
+    print(render_hotspots(matrix, k=args.top))
+    mismatches = matrix.reconcile(result.stats)
+    if mismatches:
+        print("WARNING: comm matrix does not reconcile with RankStats:")
+        for m in mismatches:
+            print(f"  {m}")
+    else:
+        print("comm matrix reconciles exactly with RankStats "
+              "(row sums = sent, col sums = received)")
+    print(_section("critical path"))
+    print(critical_path(result.trace, nranks=result.nranks).render())
+    return 0
+
+
+def cmd_chrome(args) -> int:
+    result, _meta = _load(args.run)
+    if result.trace is None:
+        print("run file has no trace; re-capture with tracing enabled",
+              file=sys.stderr)
+        return 1
+    write_chrome_trace(result.trace, args.out, nranks=result.nranks)
+    with open(args.out) as fh:
+        problems = validate_chrome_trace(json.load(fh))
+    if problems:
+        for p in problems:
+            print(f"invalid trace: {p}", file=sys.stderr)
+        return 1
+    print(f"wrote {args.out} ({len(result.trace)} events); "
+          "load it at https://ui.perfetto.dev")
+    return 0
+
+
+def cmd_capture(args) -> int:
+    # Imported lazily: capture pulls in the whole runtime stack, report
+    # and chrome must work from a bare run file.
+    from repro.apps.jacobi import build_jacobi
+    from repro.machine.cost import PRESETS
+    from repro.meshes.regular import five_point_grid
+
+    if args.machine not in PRESETS:
+        raise CliError(
+            f"unknown machine {args.machine!r}; "
+            f"choose from: {', '.join(sorted(PRESETS))}"
+        )
+    machine = PRESETS[args.machine]
+    mesh = five_point_grid(args.rows, args.cols)
+    prog = build_jacobi(mesh, args.procs, machine=machine, trace=True)
+    res = prog.run(sweeps=args.sweeps)
+    meta = {
+        "workload": "jacobi",
+        "machine": machine.name,
+        "procs": args.procs,
+        "rows": args.rows,
+        "cols": args.cols,
+        "sweeps": args.sweeps,
+    }
+    write_run_json(res.engine, args.out, meta=meta)
+    print(f"wrote {args.out}: {res.engine.nranks} ranks, "
+          f"{len(res.engine.trace)} trace events, "
+          f"makespan {res.engine.makespan:.6f}s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="telemetry tools for simulated runs",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    cap = sub.add_parser("capture", help="run a traced Jacobi and save it")
+    cap.add_argument("--procs", type=int, default=8)
+    cap.add_argument("--rows", type=int, default=16)
+    cap.add_argument("--cols", type=int, default=16)
+    cap.add_argument("--sweeps", type=int, default=3)
+    cap.add_argument("--machine", default="NCUBE/7",
+                     help="cost-model preset name (NCUBE/7, iPSC/2, "
+                          "modern-cluster, ideal)")
+    cap.add_argument("-o", "--out", default="run.json")
+    cap.set_defaults(fn=cmd_capture)
+
+    rep = sub.add_parser("report", help="render telemetry from a run file")
+    rep.add_argument("run")
+    rep.add_argument("--width", type=int, default=72,
+                     help="timeline width in columns")
+    rep.add_argument("--top", type=int, default=5,
+                     help="hotspot pairs to list")
+    rep.set_defaults(fn=cmd_report)
+
+    chr_ = sub.add_parser("chrome",
+                          help="export Chrome/Perfetto trace_event JSON")
+    chr_.add_argument("run")
+    chr_.add_argument("-o", "--out", default="trace.json")
+    chr_.set_defaults(fn=cmd_chrome)
+    return ap
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Chrome/Perfetto ``trace_event`` export of engine traces.
+
+Produces the JSON object format understood by ``chrome://tracing`` and
+https://ui.perfetto.dev: one *process* per rank (pid = rank), complete
+(``"ph": "X"``) slices for every span, and flow arrows (``"s"``/``"f"``)
+connecting each send slice to the receive slice that consumed its
+message.  Timestamps are microseconds of *virtual* time.
+
+Usage::
+
+    res = Engine(machine, ..., trace=True).run(prog)
+    write_chrome_trace(res.trace, "trace.json")
+    # then: open https://ui.perfetto.dev and load trace.json
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.machine.trace import TraceEvent
+from repro.obs.spans import build_spans, pair_messages
+
+_US = 1e6  # virtual seconds -> trace microseconds
+
+# Stable colour names from the tracing palette, keyed by span kind.
+_COLOR = {
+    "compute": "thread_state_running",
+    "send": "thread_state_iowait",
+    "recv_busy": "thread_state_runnable",
+    "recv_wait": "thread_state_sleeping",
+}
+
+
+def _slice_name(span) -> str:
+    if span.label:
+        return f"{span.phase}:{span.label}" if span.phase else span.label
+    return span.phase or span.kind
+
+
+def to_chrome_trace(
+    events: Sequence[TraceEvent],
+    nranks: Optional[int] = None,
+) -> Dict:
+    """Convert trace events to a Chrome ``trace_event`` JSON object.
+
+    Returns a dict with a ``traceEvents`` list; serialize with
+    ``json.dump`` or use :func:`write_chrome_trace`.
+    """
+    if nranks is None:
+        nranks = max((e.rank for e in events), default=-1) + 1
+    out: List[Dict] = []
+
+    for r in range(nranks):
+        out.append({
+            "ph": "M", "pid": r, "tid": 0, "name": "process_name",
+            "args": {"name": f"rank {r}"},
+        })
+        out.append({
+            "ph": "M", "pid": r, "tid": 0, "name": "process_sort_index",
+            "args": {"sort_index": r},
+        })
+
+    for span in build_spans(events):
+        if span.kind == "finish":
+            out.append({
+                "ph": "i", "pid": span.rank, "tid": 0, "name": "finish",
+                "ts": span.start * _US, "s": "p", "cat": "finish",
+            })
+            continue
+        ev = {
+            "ph": "X",
+            "pid": span.rank,
+            "tid": 0,
+            "name": _slice_name(span),
+            "cat": span.kind,
+            "ts": span.start * _US,
+            "dur": span.duration * _US,
+            "args": {"phase": span.phase, "kind": span.kind},
+        }
+        if span.label:
+            ev["args"]["label"] = span.label
+        if span.peer is not None:
+            ev["args"].update(peer=span.peer, tag=span.tag, nbytes=span.nbytes)
+        color = _COLOR.get(span.kind)
+        if color:
+            ev["cname"] = color
+        out.append(ev)
+
+    # Flow arrows: the "s" step sits inside the send slice, the "f" step
+    # (binding point "e" = enclosing slice) inside the receive slice.
+    for flow_id, (send, recv) in enumerate(pair_messages(events)):
+        busy_start = recv.busy_start if recv.busy_start is not None else recv.start
+        mid_send = (send.start + send.end) / 2.0
+        mid_recv = (busy_start + recv.end) / 2.0
+        out.append({
+            "ph": "s", "pid": send.rank, "tid": 0, "name": "msg",
+            "cat": "msg", "id": flow_id, "ts": mid_send * _US,
+        })
+        out.append({
+            "ph": "f", "bp": "e", "pid": recv.rank, "tid": 0, "name": "msg",
+            "cat": "msg", "id": flow_id, "ts": mid_recv * _US,
+        })
+
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    events: Sequence[TraceEvent],
+    path: str,
+    nranks: Optional[int] = None,
+) -> None:
+    """Serialize :func:`to_chrome_trace` output to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(events, nranks=nranks), fh)
+
+
+def validate_chrome_trace(doc: Dict) -> List[str]:
+    """Sanity-check a trace document; returns a list of problems (empty = ok).
+
+    Covers the invariants Perfetto's importer enforces: required keys per
+    phase type, non-negative timestamps and durations, and flow ids that
+    appear exactly once as a start and once as a finish.
+    """
+    problems: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    flow_starts: Dict[object, int] = {}
+    flow_ends: Dict[object, int] = {}
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph is None:
+            problems.append(f"event {i}: no ph")
+            continue
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i}: bad ts {ts!r}")
+        if "pid" not in ev or "tid" not in ev:
+            problems.append(f"event {i}: missing pid/tid")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: X event with bad dur {dur!r}")
+        elif ph == "s":
+            flow_starts[ev.get("id")] = flow_starts.get(ev.get("id"), 0) + 1
+        elif ph == "f":
+            flow_ends[ev.get("id")] = flow_ends.get(ev.get("id"), 0) + 1
+            if ev.get("bp") != "e":
+                problems.append(f"event {i}: flow finish without bp=e")
+    for fid, n in flow_starts.items():
+        if n != 1 or flow_ends.get(fid, 0) != 1:
+            problems.append(f"flow id {fid!r}: {n} starts, "
+                            f"{flow_ends.get(fid, 0)} finishes")
+    for fid in flow_ends:
+        if fid not in flow_starts:
+            problems.append(f"flow id {fid!r}: finish without start")
+    return problems

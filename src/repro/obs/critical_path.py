@@ -1,0 +1,183 @@
+"""Critical path: the longest dependency chain through a traced run.
+
+The engine's virtual makespan is determined by one chain of events —
+compute spans, message transits, receive drains — such that delaying any
+element delays the run.  This module recovers that chain from a trace by
+walking backwards from the last-finishing event:
+
+* a receive whose message arrived *after* the rank was ready to take it
+  (``busy_start > start``) was bound by the **sender** — the walk jumps
+  across the message to the matching send (adding a ``transit`` step for
+  the wire time in between);
+* every other event was bound by its **own rank** — the walk steps to the
+  previous event on that rank (per-rank activity is contiguous: clocks
+  only advance through ops).
+
+The result names which phases, ranks, and schedule labels actually sit
+on the path — the difference between "the executor is slow" and "rank 3's
+relaxation sweep serialises everyone else".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.machine.trace import TraceEvent
+from repro.obs.spans import pair_messages
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One interval of the critical path.
+
+    ``kind`` is ``compute``, ``send``, ``recv_busy``, ``recv_wait`` (the
+    path entered the receive while the rank was already waiting — only
+    possible for the chain's first event), or ``transit`` (message on the
+    wire; attributed to the receiving rank).
+    """
+
+    rank: int
+    kind: str
+    phase: str
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class CriticalPath:
+    """The longest virtual-time dependency chain of one run."""
+
+    steps: List[PathStep]        # time-ordered, contiguous
+    makespan: float
+
+    @property
+    def length(self) -> float:
+        return sum(s.duration for s in self.steps)
+
+    def time_by(self, key: str) -> Dict[str, float]:
+        """Aggregate path time by ``"phase"``, ``"rank"``, ``"kind"``, or
+        ``"label"``."""
+        agg: Dict[str, float] = defaultdict(float)
+        for s in self.steps:
+            agg[str(getattr(s, key))] += s.duration
+        return dict(agg)
+
+    def ranks(self) -> List[int]:
+        """Ranks in first-visited order (transit steps excluded)."""
+        seen: List[int] = []
+        for s in self.steps:
+            if s.kind != "transit" and (not seen or seen[-1] != s.rank):
+                seen.append(s.rank)
+        return seen
+
+    def render(self, max_segments: int = 30) -> str:
+        """Summary plus the chain, merging consecutive same-rank/phase runs."""
+        if not self.steps:
+            return "(empty critical path)"
+        lines = [
+            f"critical path: {self.length:.6f}s over {len(self.steps)} events "
+            f"({100.0 * self.length / self.makespan if self.makespan else 0.0:.1f}% "
+            f"of makespan {self.makespan:.6f}s)"
+        ]
+        for key in ("phase", "rank", "kind"):
+            parts = sorted(self.time_by(key).items(), key=lambda kv: -kv[1])
+            txt = "  ".join(f"{k or '(none)'}={v:.6f}s" for k, v in parts)
+            lines.append(f"  by {key}: {txt}")
+        # Merge consecutive steps sharing rank+phase+label for display.
+        segs: List[Tuple[PathStep, float, int]] = []
+        for s in self.steps:
+            if segs and s.kind != "transit":
+                head, dur, n = segs[-1]
+                if (head.rank == s.rank and head.phase == s.phase
+                        and head.label == s.label and head.kind != "transit"):
+                    segs[-1] = (head, dur + s.duration, n + 1)
+                    continue
+            segs.append((s, s.duration, 1))
+        lines.append("  chain:")
+        shown = segs[:max_segments]
+        for head, dur, n in shown:
+            what = head.phase if not head.label else f"{head.phase}:{head.label}"
+            where = "(wire)" if head.kind == "transit" else f"rank {head.rank}"
+            more = f" [{n} events]" if n > 1 else ""
+            lines.append(
+                f"    {head.start:>12.6f}s  {where:<9} {head.kind:<9} "
+                f"{what:<24} {dur:.6f}s{more}"
+            )
+        if len(segs) > max_segments:
+            lines.append(f"    ... ({len(segs) - max_segments} more segments)")
+        return "\n".join(lines)
+
+
+def critical_path(
+    events: Sequence[TraceEvent],
+    nranks: Optional[int] = None,
+) -> CriticalPath:
+    """Recover the critical path from a traced run."""
+    work = [e for e in events if e.kind != "finish"]
+    makespan = max((e.end for e in events), default=0.0)
+    if not work:
+        return CriticalPath(steps=[], makespan=makespan)
+
+    by_rank: Dict[int, List[TraceEvent]] = defaultdict(list)
+    for e in work:
+        by_rank[e.rank].append(e)
+    index_on_rank: Dict[int, Dict[int, int]] = {}
+    for r, evs in by_rank.items():
+        evs.sort(key=lambda e: (e.start, e.end))
+        index_on_rank[r] = {id(e): i for i, e in enumerate(evs)}
+
+    send_of_recv: Dict[int, TraceEvent] = {
+        id(recv): send for send, recv in pair_messages(events)
+    }
+
+    # Start from the event that determines the makespan.
+    cur: Optional[TraceEvent] = max(work, key=lambda e: (e.end, -e.rank))
+    steps: List[PathStep] = []
+
+    def prev_on_rank(e: TraceEvent) -> Optional[TraceEvent]:
+        i = index_on_rank[e.rank][id(e)]
+        return by_rank[e.rank][i - 1] if i > 0 else None
+
+    while cur is not None:
+        if cur.kind == "recv":
+            busy_start = cur.busy_start if cur.busy_start is not None else cur.start
+            sender = send_of_recv.get(id(cur))
+            sender_bound = busy_start > cur.start + _EPS and sender is not None
+            steps.append(PathStep(
+                rank=cur.rank, kind="recv_busy", phase=cur.phase,
+                label=cur.label, start=busy_start, end=cur.end,
+            ))
+            if sender_bound:
+                if busy_start > sender.end + _EPS:
+                    steps.append(PathStep(
+                        rank=cur.rank, kind="transit", phase=cur.phase,
+                        label=cur.label, start=sender.end, end=busy_start,
+                    ))
+                cur = sender
+                continue
+            # Rank-bound: the message was already waiting (or unmatched);
+            # any wait before busy_start only happens at the chain's origin.
+            if busy_start > cur.start + _EPS:
+                steps.append(PathStep(
+                    rank=cur.rank, kind="recv_wait", phase=cur.phase,
+                    label=cur.label, start=cur.start, end=busy_start,
+                ))
+            cur = prev_on_rank(cur)
+        else:
+            steps.append(PathStep(
+                rank=cur.rank, kind=cur.kind, phase=cur.phase,
+                label=cur.label, start=cur.start, end=cur.end,
+            ))
+            cur = prev_on_rank(cur)
+
+    steps.reverse()
+    return CriticalPath(steps=steps, makespan=makespan)

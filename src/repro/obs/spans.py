@@ -1,0 +1,185 @@
+"""Span model: trace events refined into wait/busy intervals.
+
+The engine's :class:`~repro.machine.trace.TraceEvent` records a receive
+as one span covering both the wait for the message and the drain of it.
+For idle accounting those are opposite things — the wait is time the
+rank had *nothing to do*, the drain is work.  :func:`build_spans` splits
+every receive at its ``busy_start`` into a ``recv_wait`` and a
+``recv_busy`` span, giving downstream consumers (the Chrome exporter,
+the critical-path walk, utilisation tables) an unambiguous activity
+timeline.
+
+:func:`pair_messages` reunites each receive with the send that produced
+its message — exactly, via the engine's message sequence numbers, with a
+FIFO-per-channel fallback for traces recorded before ``seq`` existed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.machine.trace import TraceEvent
+
+# Span kinds, in legend order.  ``recv_wait`` is idle time; the rest is
+# occupied time.
+SPAN_KINDS = ("compute", "send", "recv_wait", "recv_busy", "finish")
+
+
+@dataclass(frozen=True)
+class Span:
+    """One activity interval on one rank (recvs split into wait/busy)."""
+
+    rank: int
+    kind: str
+    start: float
+    end: float
+    phase: str = ""
+    label: str = ""
+    peer: Optional[int] = None
+    tag: Optional[int] = None
+    nbytes: int = 0
+    seq: Optional[int] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def is_idle(self) -> bool:
+        return self.kind == "recv_wait"
+
+
+def build_spans(events: Sequence[TraceEvent]) -> List[Span]:
+    """Refine trace events into spans, splitting recv wait from busy.
+
+    Receives without a ``busy_start`` (older traces) are kept whole as
+    ``recv_busy``.  Zero-length finish events are preserved so consumers
+    can see when each rank completed.
+    """
+    spans: List[Span] = []
+    for e in events:
+        if e.kind == "recv":
+            busy_start = e.busy_start if e.busy_start is not None else e.start
+            if busy_start > e.start:
+                spans.append(Span(
+                    rank=e.rank, kind="recv_wait", start=e.start,
+                    end=busy_start, phase=e.phase, label=e.label,
+                    peer=e.peer, tag=e.tag, nbytes=e.nbytes, seq=e.seq,
+                ))
+            spans.append(Span(
+                rank=e.rank, kind="recv_busy", start=busy_start, end=e.end,
+                phase=e.phase, label=e.label, peer=e.peer, tag=e.tag,
+                nbytes=e.nbytes, seq=e.seq,
+            ))
+        else:
+            spans.append(Span(
+                rank=e.rank, kind=e.kind, start=e.start, end=e.end,
+                phase=e.phase, label=e.label, peer=e.peer, tag=e.tag,
+                nbytes=e.nbytes, seq=e.seq,
+            ))
+    spans.sort(key=lambda s: (s.start, s.rank, s.end))
+    return spans
+
+
+def pair_messages(
+    events: Sequence[TraceEvent],
+) -> List[Tuple[TraceEvent, TraceEvent]]:
+    """Match each recv event with the send event of its message.
+
+    Uses the engine's message ``seq`` when present; otherwise falls back
+    to FIFO order per ``(source, dest, tag)`` channel, which is exactly
+    the engine's own matching rule for fully-specified receives.
+    Unmatched receives (e.g. a partial trace) are omitted.
+    """
+    sends = [e for e in events if e.kind == "send"]
+    recvs = sorted((e for e in events if e.kind == "recv"), key=lambda e: e.end)
+    by_seq: Dict[int, TraceEvent] = {
+        e.seq: e for e in sends if e.seq is not None
+    }
+    channels: Dict[Tuple[int, int, int], Deque[TraceEvent]] = defaultdict(deque)
+    for e in sorted(sends, key=lambda e: (e.start, e.seq if e.seq is not None else 0)):
+        if e.peer is not None:
+            channels[(e.rank, e.peer, e.tag)].append(e)
+
+    pairs: List[Tuple[TraceEvent, TraceEvent]] = []
+    for r in recvs:
+        s = by_seq.get(r.seq) if r.seq is not None else None
+        if s is None and r.peer is not None:
+            q = channels.get((r.peer, r.rank, r.tag))
+            s = q.popleft() if q else None
+        elif s is not None and r.peer is not None:
+            q = channels.get((s.rank, s.peer, s.tag))
+            if q and q[0] is s:
+                q.popleft()
+        if s is not None:
+            pairs.append((s, r))
+    return pairs
+
+
+@dataclass
+class RankActivity:
+    """Wait/busy/idle decomposition of one rank's virtual timeline."""
+
+    rank: int
+    busy: float          # compute + send + recv drain
+    wait: float          # blocked in a receive, message still in flight
+    finish: float        # the rank's final clock
+    makespan: float      # the run's completion time
+
+    @property
+    def idle_tail(self) -> float:
+        """Time between this rank finishing and the run completing."""
+        return max(self.makespan - self.finish, 0.0)
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the full run (0 when the run is empty)."""
+        return self.busy / self.makespan if self.makespan > 0 else 0.0
+
+
+def rank_activity(
+    events: Sequence[TraceEvent], nranks: Optional[int] = None
+) -> List[RankActivity]:
+    """Per-rank busy/wait/idle accounting from a trace."""
+    if nranks is None:
+        nranks = max((e.rank for e in events), default=-1) + 1
+    busy = [0.0] * nranks
+    wait = [0.0] * nranks
+    finish = [0.0] * nranks
+    for s in build_spans(events):
+        if s.kind == "finish":
+            finish[s.rank] = max(finish[s.rank], s.end)
+        elif s.kind == "recv_wait":
+            wait[s.rank] += s.duration
+        else:
+            busy[s.rank] += s.duration
+        finish[s.rank] = max(finish[s.rank], s.end)
+    makespan = max(finish, default=0.0)
+    return [
+        RankActivity(rank=r, busy=busy[r], wait=wait[r],
+                     finish=finish[r], makespan=makespan)
+        for r in range(nranks)
+    ]
+
+
+def render_activity(activity: Sequence[RankActivity]) -> str:
+    """A small utilisation table (one row per rank, plus a total)."""
+    if not activity:
+        return "(no activity)"
+    lines = [f"{'rank':>4}  {'busy':>12}  {'recv-wait':>12}  "
+             f"{'idle-tail':>12}  {'util':>6}"]
+    for a in activity:
+        lines.append(
+            f"{a.rank:>4}  {a.busy:>12.6f}  {a.wait:>12.6f}  "
+            f"{a.idle_tail:>12.6f}  {100 * a.utilization:>5.1f}%"
+        )
+    total_busy = sum(a.busy for a in activity)
+    makespan = activity[0].makespan
+    denom = makespan * len(activity)
+    eff = total_busy / denom if denom > 0 else 0.0
+    lines.append(f"parallel efficiency {100 * eff:.1f}% "
+                 f"(busy {total_busy:.6f}s over {len(activity)} ranks x "
+                 f"{makespan:.6f}s)")
+    return "\n".join(lines)

@@ -32,6 +32,27 @@ class ScheduleCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self._reported: Dict[str, int] = {}
+
+    def take_counts(self) -> Dict[str, int]:
+        """Counter deltas since the last call, keyed by engine counter name.
+
+        The cache lives outside the engine, so its statistics are invisible
+        to :class:`~repro.machine.stats.RunResult` unless the caller turns
+        them into ``Count`` events.  ``KaliRank.forall`` drains this after
+        every lookup/store so ``counter_sum("schedule_cache_hits")`` works.
+        """
+        out: Dict[str, int] = {}
+        for name, value in (
+            ("schedule_cache_hits", self.hits),
+            ("schedule_cache_misses", self.misses),
+            ("schedule_cache_invalidations", self.invalidations),
+        ):
+            delta = value - self._reported.get(name, 0)
+            if delta:
+                out[name] = delta
+                self._reported[name] = value
+        return out
 
     def lookup(self, forall: Forall, env: Dict[str, LocalArray]) -> Optional[CommSchedule]:
         """Return a valid cached schedule, or None (miss / stale / disabled)."""

@@ -245,9 +245,9 @@ def run_executor(
             # Wire size: the data plus a small symbol field per array (the
             # paper's in-message array identifier), not Python dict overhead.
             nbytes = sum(v.nbytes for v in bundle.values()) + 8 * len(bundle)
-            yield Compute(m.copy_elem * n_elems, phase=PHASE)
+            yield Compute(m.copy_elem * n_elems, phase=PHASE, label=forall.label)
             yield Send(dest=q, payload=bundle, tag=combined_tag,
-                       nbytes=nbytes, phase=PHASE)
+                       nbytes=nbytes, phase=PHASE, label=forall.label)
             yield Count("executor_elems_sent", n_elems)
     else:
         for a_idx, name in enumerate(array_order):
@@ -262,8 +262,10 @@ def run_executor(
                 payload = (
                     np.concatenate(chunks) if len(chunks) > 1 else chunks[0].copy()
                 )
-                yield Compute(m.copy_elem * payload.shape[0], phase=PHASE)
-                yield Send(dest=q, payload=payload, tag=tag, phase=PHASE)
+                yield Compute(m.copy_elem * payload.shape[0], phase=PHASE,
+                              label=forall.label)
+                yield Send(dest=q, payload=payload, tag=tag, phase=PHASE,
+                           label=forall.label)
                 yield Count("executor_elems_sent", int(payload.shape[0]))
 
     # --- snapshot read-write overlap for copy-in/copy-out ----------------------
@@ -319,7 +321,7 @@ def run_executor(
             + n_ind * forall.flops_per_ref * m.flop
             + exec_local.size * forall.flops_per_iter * m.flop
         )
-        yield Compute(cost, phase=PHASE)
+        yield Compute(cost, phase=PHASE, label=forall.label)
 
     # --- 3. receive in-blocks ------------------------------------------------
     def unpack(name: str, q: int, data: np.ndarray) -> int:
@@ -343,20 +345,23 @@ def run_executor(
         )
         combined_tag = _EXEC_TAG_BASE + tag_base
         for q in peers_in:
-            msg = yield Recv(source=q, tag=combined_tag, phase=PHASE)
+            msg = yield Recv(source=q, tag=combined_tag, phase=PHASE,
+                             label=forall.label)
             total = 0
             for name, data in msg.payload.items():
                 total += unpack(name, q, data)
-            yield Compute(m.copy_elem * total, phase=PHASE)
+            yield Compute(m.copy_elem * total, phase=PHASE, label=forall.label)
             yield Count("executor_elems_recv", total)
     else:
         for a_idx, name in enumerate(array_order):
             asched = schedule.arrays[name]
             tag = _EXEC_TAG_BASE + tag_base + a_idx
             for q in asched.peers_in():
-                msg = yield Recv(source=q, tag=tag, phase=PHASE)
+                msg = yield Recv(source=q, tag=tag, phase=PHASE,
+                                 label=forall.label)
                 pos = unpack(name, q, msg.payload)
-                yield Compute(m.copy_elem * pos, phase=PHASE)
+                yield Compute(m.copy_elem * pos, phase=PHASE,
+                              label=forall.label)
                 yield Count("executor_elems_recv", pos)
 
     # --- 4. nonlocal iterations ----------------------------------------------
@@ -389,7 +394,7 @@ def run_executor(
             + n_ind * forall.flops_per_ref * m.flop
             + exec_nonlocal.size * forall.flops_per_iter * m.flop
         )
-        yield Compute(cost, phase=PHASE)
+        yield Compute(cost, phase=PHASE, label=forall.label)
         yield Count("executor_remote_refs", n_rem)
 
     # --- 5. commit writes (copy-out) ---------------------------------------------
@@ -406,7 +411,7 @@ def run_executor(
     for name in written_arrays:
         env[name].version += 1
     if n_written:
-        yield Compute(m.ref_local * n_written, phase=PHASE)
+        yield Compute(m.ref_local * n_written, phase=PHASE, label=forall.label)
     yield Count("executor_iters", schedule.num_exec())
     yield Count("executor_local_refs", live_refs_local)
 
@@ -417,7 +422,7 @@ def run_executor(
     # One flop per contribution folded locally.
     n_contrib = schedule.num_exec() * len(forall.reductions)
     if n_contrib:
-        yield Compute(m.flop * n_contrib, phase=PHASE)
+        yield Compute(m.flop * n_contrib, phase=PHASE, label=forall.label)
     results: Dict[str, float] = {}
     for r_idx, spec in enumerate(forall.reductions):
         reduced = yield from allreduce(

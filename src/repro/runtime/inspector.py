@@ -255,6 +255,7 @@ def run_inspector(rank: Rank, forall: Forall, env: Dict[str, LocalArray]):
         rank.machine.inspect_ref * total_checks
         + rank.machine.insert_elem * total_nonlocal,
         phase=PHASE,
+        label=forall.label,
     )
     yield Count("inspector_checks", total_checks)
     yield Count("inspector_nonlocal", total_nonlocal)

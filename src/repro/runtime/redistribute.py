@@ -30,7 +30,7 @@ from repro.distributions.base import DimDistribution
 from repro.distributions.multidim import ArrayDistribution
 from repro.distributions.replicated import Replicated
 from repro.errors import DistributionError
-from repro.machine.api import Compute, Count, Rank, Recv, Send
+from repro.machine.api import Compute, Count, Rank, Recv, Send, payload_nbytes
 
 PHASE = "redistribute"
 _REDIST_TAG_BASE = 1 << 19
@@ -99,8 +99,11 @@ def redistribute(
         rows = my_rows[mask]
         payload = local.data[np.asarray(old_dim.to_local(rows))]
         yield Compute(m.copy_elem * rows.size * row_elems, phase=phase)
-        yield Send(dest=int(q), payload=(rows, payload), tag=t, phase=phase)
+        yield Send(dest=int(q), payload=(rows, payload), tag=t, phase=phase,
+                   label=local.name)
         yield Count("redistribute_elems_sent", int(rows.size))
+        yield Count("redistribute_msgs", 1)
+        yield Count("redistribute_bytes", payload_nbytes((rows, payload)))
 
     # --- receive from every old owner of my new rows --------------------------
     my_new = new_dim.local_indices(me)
@@ -108,7 +111,7 @@ def redistribute(
         np.empty(0, dtype=np.int64)
     sources = [int(q) for q in np.unique(old_owners) if q != me]
     for q in sources:
-        msg = yield Recv(source=q, tag=t, phase=phase)
+        msg = yield Recv(source=q, tag=t, phase=phase, label=local.name)
         rows, payload = msg.payload
         new_data[np.asarray(new_dim.to_local(rows))] = payload
         yield Compute(m.copy_elem * rows.size * row_elems, phase=phase)

@@ -1,0 +1,475 @@
+"""Tests for the observability subsystem (``repro.obs``)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps.jacobi import build_jacobi
+from repro.machine.api import Compute, Recv, Send
+from repro.machine.cost import IDEAL, NCUBE7
+from repro.machine.engine import Engine
+from repro.machine.topology import FullyConnected, Hypercube
+from repro.meshes.regular import five_point_grid
+from repro.obs import (
+    CommMatrix,
+    MetricsRegistry,
+    ascii_heatmap,
+    build_spans,
+    critical_path,
+    pair_messages,
+    rank_activity,
+    read_run_json,
+    render_activity,
+    render_hotspots,
+    run_from_dict,
+    run_to_dict,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_run_json,
+)
+
+
+def traced(prog, n, machine=IDEAL, topology=None):
+    topo = topology or FullyConnected(n)
+    return Engine(machine, topology=topo, trace=True).run(prog)
+
+
+def pipeline3(rank):
+    """A 3-stage pipeline with a known critical path: 0 -> 1 -> 2.
+
+    Rank 0 computes 5s then feeds rank 1; rank 1 computes 1s locally,
+    waits, computes 3s, feeds rank 2; rank 2 waits then computes 2s.
+    Under IDEAL (zero comm cost) the critical path is exactly
+    5 + 3 + 2 = 10s and the makespan equals it.
+    """
+    if rank.id == 0:
+        yield Compute(5.0, phase="stage0")
+        yield Send(dest=1, payload=b"x" * 8, tag=1, phase="stage0")
+    elif rank.id == 1:
+        yield Compute(1.0, phase="stage1")
+        yield Recv(source=0, tag=1, phase="stage1")
+        yield Compute(3.0, phase="stage1")
+        yield Send(dest=2, payload=b"x" * 8, tag=2, phase="stage1")
+    else:
+        yield Recv(source=1, tag=2, phase="stage2")
+        yield Compute(2.0, phase="stage2")
+
+
+def traced_jacobi(procs=4, side=8, sweeps=2, machine=NCUBE7):
+    mesh = five_point_grid(side, side)
+    prog = build_jacobi(mesh, procs, machine=machine, trace=True)
+    return prog.run(sweeps=sweeps).engine
+
+
+# --- spans -----------------------------------------------------------------
+
+
+class TestSpans:
+    def test_recv_split_into_wait_and_busy(self):
+        res = traced(pipeline3, 3)
+        spans = build_spans(res.trace)
+        waits = [s for s in spans if s.kind == "recv_wait"]
+        busies = [s for s in spans if s.kind == "recv_busy"]
+        assert len(busies) == 2
+        # Rank 1 waited from t=1 (after its local compute) to t=5.
+        w1 = next(s for s in waits if s.rank == 1)
+        assert w1.start == pytest.approx(1.0)
+        assert w1.end == pytest.approx(5.0)
+
+    def test_wait_plus_busy_equals_recv_span(self):
+        res = traced_jacobi()
+        spans = build_spans(res.trace)
+        recv_total = sum(
+            e.end - e.start for e in res.trace if e.kind == "recv"
+        )
+        split_total = sum(
+            s.duration for s in spans if s.kind in ("recv_wait", "recv_busy")
+        )
+        assert split_total == pytest.approx(recv_total)
+
+    def test_pair_messages_matches_every_recv(self):
+        res = traced_jacobi()
+        recvs = [e for e in res.trace if e.kind == "recv"]
+        pairs = pair_messages(res.trace)
+        assert len(pairs) == len(recvs)
+        for send, recv in pairs:
+            assert send.seq == recv.seq
+            assert send.rank == recv.peer and recv.rank == send.peer
+            assert send.nbytes == recv.nbytes
+
+    def test_rank_activity_accounts_full_makespan(self):
+        res = traced(pipeline3, 3)
+        acts = rank_activity(res.trace, nranks=3)
+        for a in acts:
+            assert a.busy + a.wait + a.idle_tail == pytest.approx(a.makespan)
+        # Rank 2 idled 8s waiting (pipeline fill), was busy 2s + recv drain.
+        a2 = acts[2]
+        assert a2.wait == pytest.approx(8.0)
+        assert a2.busy == pytest.approx(2.0)
+        text = render_activity(acts)
+        assert "parallel efficiency" in text
+
+    def test_spans_carry_forall_labels(self):
+        res = traced_jacobi()
+        labels = {s.label for s in build_spans(res.trace)}
+        assert "jacobi-relax" in labels
+        assert "jacobi-copy" in labels
+
+
+# --- chrome trace ----------------------------------------------------------
+
+
+class TestChromeTrace:
+    def test_schema_valid(self):
+        res = traced_jacobi()
+        doc = to_chrome_trace(res.trace, nranks=res.nranks)
+        assert validate_chrome_trace(doc) == []
+
+    def test_json_serializable_and_monotonic(self):
+        res = traced_jacobi()
+        doc = json.loads(json.dumps(to_chrome_trace(res.trace)))
+        for ev in doc["traceEvents"]:
+            if ev["ph"] == "M":
+                continue
+            assert ev["ts"] >= 0
+            if ev["ph"] == "X":
+                assert ev["dur"] >= 0
+
+    def test_one_pid_per_rank(self):
+        res = traced_jacobi(procs=4)
+        doc = to_chrome_trace(res.trace, nranks=4)
+        names = {
+            ev["pid"]: ev["args"]["name"]
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "process_name"
+        }
+        assert names == {r: f"rank {r}" for r in range(4)}
+
+    def test_flow_ids_pair_sends_with_recvs(self):
+        res = traced_jacobi()
+        doc = to_chrome_trace(res.trace)
+        starts = {e["id"] for e in doc["traceEvents"] if e["ph"] == "s"}
+        ends = {e["id"] for e in doc["traceEvents"] if e["ph"] == "f"}
+        assert starts == ends
+        n_recvs = sum(1 for e in res.trace if e.kind == "recv")
+        assert len(starts) == n_recvs
+
+    def test_flow_steps_land_inside_their_slices(self):
+        """Perfetto binds flows to the enclosing slice at the step ts."""
+        res = traced(pipeline3, 3)
+        doc = to_chrome_trace(res.trace)
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+
+        def enclosing(pid, ts, cat):
+            return [
+                s for s in slices
+                if s["pid"] == pid and s["cat"] == cat
+                and s["ts"] <= ts <= s["ts"] + s["dur"]
+            ]
+
+        for ev in doc["traceEvents"]:
+            if ev["ph"] == "s":
+                assert enclosing(ev["pid"], ev["ts"], "send")
+            elif ev["ph"] == "f":
+                assert enclosing(ev["pid"], ev["ts"], "recv_busy")
+
+    def test_golden_two_rank_exchange(self):
+        """Exact expected slices for a deterministic two-rank program."""
+        def prog(rank):
+            if rank.id == 0:
+                yield Compute(2.0, phase="work")
+                yield Send(dest=1, payload=b"ab", tag=3, phase="xfer")
+            else:
+                yield Recv(source=0, tag=3, phase="xfer")
+
+        res = traced(prog, 2)
+        doc = to_chrome_trace(res.trace, nranks=2)
+        xs = [
+            (e["pid"], e["cat"], e["name"], e["ts"], e["dur"])
+            for e in doc["traceEvents"] if e["ph"] == "X"
+        ]
+        # IDEAL: compute 2s; send/recv cost 0 => recv waits [0, 2e6]us.
+        assert (0, "compute", "work", 0.0, 2_000_000.0) in xs
+        assert (0, "send", "xfer", 2_000_000.0, 0.0) in xs
+        assert (1, "recv_wait", "xfer", 0.0, 2_000_000.0) in xs
+        assert (1, "recv_busy", "xfer", 2_000_000.0, 0.0) in xs
+
+    def test_write_and_validate_file(self, tmp_path):
+        res = traced_jacobi()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(res.trace, str(path), nranks=res.nranks)
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+
+
+# --- comm matrix -----------------------------------------------------------
+
+
+class TestCommMatrix:
+    def test_reconciles_with_rankstats_jacobi(self):
+        res = traced_jacobi(procs=8, side=12, sweeps=3)
+        matrix = CommMatrix.from_trace(res.trace, nranks=res.nranks)
+        assert matrix.reconcile(res.stats) == []
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_reconciles_with_random_traffic(self, seed):
+        """Property: row sums == bytes_sent, col sums == bytes_received."""
+        rng = np.random.default_rng(seed)
+        n = 5
+        plan = [
+            [(int(d), int(rng.integers(1, 200)))
+             for d in rng.integers(0, n, size=rng.integers(1, 6))]
+            for _ in range(n)
+        ]
+
+        def prog(rank):
+            for dst, size in plan[rank.id]:
+                yield Send(dest=dst, payload=b"z" * size,
+                           tag=100 + rank.id, phase="traffic")
+            expected = [
+                (src, size)
+                for src in range(n)
+                for (dst, size) in plan[src]
+                if dst == rank.id
+            ]
+            for src, _size in sorted(expected):
+                yield Recv(source=src, tag=100 + src, phase="traffic")
+
+        res = traced(prog, n)
+        matrix = CommMatrix.from_trace(res.trace, nranks=n)
+        assert matrix.reconcile(res.stats) == []
+        assert matrix.total("bytes") == res.total_bytes()
+        assert matrix.total("messages") == res.total_messages()
+
+    def test_hop_weighting_uses_topology(self):
+        def prog(rank):
+            if rank.id == 0:
+                yield Send(dest=3, payload=b"x" * 10, tag=1)
+            elif rank.id == 3:
+                yield Recv(source=0, tag=1)
+
+        res = traced(prog, 4, topology=Hypercube(4))
+        matrix = CommMatrix.from_trace(res.trace, nranks=4,
+                                       topology=Hypercube(4))
+        # 0 -> 3 crosses both cube bits: 2 hops x 10 bytes.
+        assert matrix.hop_bytes[0][3] == 20
+
+    def test_heatmap_and_hotspots_render(self):
+        res = traced_jacobi(procs=4)
+        matrix = CommMatrix.from_trace(res.trace, nranks=4)
+        heat = ascii_heatmap(matrix, mode="bytes")
+        assert "comm matrix" in heat and "@" in heat
+        hot = render_hotspots(matrix, k=3)
+        assert "->" in hot
+
+    def test_empty_matrix(self):
+        def prog(rank):
+            yield Compute(1.0)
+
+        res = traced(prog, 2)
+        matrix = CommMatrix.from_trace(res.trace, nranks=2)
+        assert "no bytes traffic" in ascii_heatmap(matrix)
+        assert matrix.reconcile(res.stats) == []
+
+
+# --- critical path ---------------------------------------------------------
+
+
+class TestCriticalPath:
+    def test_pipeline_known_answer(self):
+        res = traced(pipeline3, 3)
+        cp = critical_path(res.trace, nranks=3)
+        assert res.makespan == pytest.approx(10.0)
+        assert cp.length == pytest.approx(10.0)
+        # The chain visits the pipeline stages in order; rank 1's initial
+        # 1s compute is NOT on the path (it overlapped rank 0's 5s).
+        assert cp.ranks() == [0, 1, 2]
+        by_rank = cp.time_by("rank")
+        assert by_rank["0"] == pytest.approx(5.0)
+        assert by_rank["1"] == pytest.approx(3.0)
+        assert by_rank["2"] == pytest.approx(2.0)
+
+    def test_path_skips_non_binding_work(self):
+        """A slow rank that nobody waits on must stay off the path."""
+        def prog(rank):
+            if rank.id == 0:
+                yield Compute(9.0, phase="slowpoke")
+            elif rank.id == 1:
+                yield Compute(1.0, phase="feeder")
+                yield Send(dest=2, payload=b"x", tag=1, phase="feeder")
+            else:
+                yield Recv(source=1, tag=1, phase="sink")
+                yield Compute(1.0, phase="sink")
+
+        res = traced(prog, 3)
+        cp = critical_path(res.trace, nranks=3)
+        # Makespan is rank 0's 9s of local work; path is entirely rank 0.
+        assert cp.ranks() == [0]
+        assert cp.length == pytest.approx(9.0)
+        assert "slowpoke" in cp.time_by("phase")
+
+    def test_path_covers_full_makespan_on_jacobi(self):
+        res = traced_jacobi(procs=8, side=12, sweeps=2)
+        cp = critical_path(res.trace, nranks=res.nranks)
+        assert cp.length == pytest.approx(res.makespan, rel=1e-9)
+        # Steps are contiguous and time-ordered.
+        for a, b in zip(cp.steps, cp.steps[1:]):
+            assert b.start == pytest.approx(a.end, abs=1e-9)
+        assert cp.steps[0].start == pytest.approx(0.0)
+
+    def test_transit_time_attributed(self):
+        def prog(rank):
+            if rank.id == 0:
+                yield Compute(1.0)
+                yield Send(dest=1, payload=b"x" * 100, tag=1)
+            else:
+                yield Recv(source=0, tag=1)
+
+        res = traced(prog, 2, machine=NCUBE7, topology=Hypercube(2))
+        cp = critical_path(res.trace, nranks=2)
+        kinds = cp.time_by("kind")
+        assert kinds.get("transit", 0.0) == pytest.approx(NCUBE7.hop)
+        assert cp.length == pytest.approx(res.makespan, rel=1e-9)
+
+    def test_render(self):
+        res = traced(pipeline3, 3)
+        text = critical_path(res.trace, nranks=3).render()
+        assert "critical path" in text
+        assert "by phase" in text and "chain" in text
+
+
+# --- metrics registry and run files ----------------------------------------
+
+
+class TestRegistry:
+    def test_from_run_collects_counters_and_phases(self):
+        res = traced_jacobi(procs=4, sweeps=3)
+        reg = MetricsRegistry.from_run(res)
+        assert reg.get("nranks") == 4
+        assert reg.get("makespan") == pytest.approx(res.makespan)
+        assert reg.get("phase_max.executor") == pytest.approx(
+            res.phase_max("executor"))
+        # Runtime metrics previously invisible to RunResult:
+        assert reg.get("counter_sum.schedule_cache_hits", 0) > 0
+        assert reg.get("counter_sum.schedule_cache_misses", 0) > 0
+        assert reg.get("counter_sum.crystal_rounds", 0) > 0
+        assert reg.get("counter_sum.inspector_checks", 0) > 0
+        assert 0.0 < reg.get("parallel_efficiency") <= 1.0
+
+    def test_exporters_round_trip(self):
+        res = traced_jacobi()
+        reg = MetricsRegistry.from_run(res, extra={"custom": 7})
+        as_json = json.loads(reg.to_json())
+        assert as_json["custom"] == 7
+        lines = reg.to_jsonl().splitlines()
+        assert len(lines) == len(reg)
+        parsed = [json.loads(ln) for ln in lines]
+        assert {p["name"]: p["value"] for p in parsed} == reg.as_dict()
+        csv = reg.to_csv().splitlines()
+        assert csv[0] == "name,value"
+        assert len(csv) == len(reg) + 1
+        assert "makespan" in reg.render_table()
+
+    def test_run_json_round_trip(self, tmp_path):
+        res = traced_jacobi(procs=4, sweeps=2)
+        path = tmp_path / "run.json"
+        write_run_json(res, str(path), meta={"workload": "jacobi"})
+        back = read_run_json(str(path))
+        assert back.nranks == res.nranks
+        assert back.clocks == pytest.approx(res.clocks)
+        assert back.makespan == pytest.approx(res.makespan)
+        for a, b in zip(back.stats, res.stats):
+            assert dict(a.phase_time) == pytest.approx(dict(b.phase_time))
+            assert dict(a.counters) == dict(b.counters)
+            assert a.bytes_sent == b.bytes_sent
+        assert back.trace is not None and len(back.trace) == len(res.trace)
+        assert back.trace[0] == res.trace[0]
+        # Telemetry computed from the round-tripped run is identical.
+        assert MetricsRegistry.from_run(back).as_dict() == pytest.approx(
+            MetricsRegistry.from_run(res).as_dict())
+
+    def test_run_from_dict_rejects_foreign_docs(self):
+        with pytest.raises(ValueError):
+            run_from_dict({"format": "something-else"})
+
+    def test_run_to_dict_without_trace(self):
+        def prog(rank):
+            yield Compute(1.0)
+
+        res = Engine(IDEAL, topology=FullyConnected(2)).run(prog)
+        doc = run_to_dict(res)
+        assert "trace" not in doc
+        assert run_from_dict(doc).trace is None
+
+
+# --- engine instrumentation surfaced by obs --------------------------------
+
+
+class TestEngineInstrumentation:
+    def test_undelivered_attributed_to_destination(self):
+        """The leftover-message count lands on the addressee, not rank 0."""
+        def prog(rank):
+            if rank.id == 0:
+                yield Send(dest=2, payload=b"x", tag=1)
+                yield Send(dest=2, payload=b"x", tag=1)
+                yield Send(dest=1, payload=b"x", tag=2)
+            elif rank.id == 1:
+                yield Recv(source=0, tag=2)
+            else:
+                yield Compute(1.0)
+
+        res = traced(prog, 3)
+        per_rank = [s.counters.get("undelivered_messages", 0)
+                    for s in res.stats]
+        assert per_rank == [0, 0, 2]
+        assert res.counter_sum("undelivered_messages") == 2
+
+    def test_no_undelivered_counter_on_clean_run(self):
+        def prog(rank):
+            yield Compute(1.0)
+
+        res = traced(prog, 2)
+        assert res.counter_sum("undelivered_messages") == 0
+        assert all("undelivered_messages" not in s.counters for s in res.stats)
+
+    def test_schedule_cache_counters_reach_run_result(self):
+        res = traced_jacobi(procs=4, sweeps=5)
+        # 2 foralls x 5 sweeps: first execution of each misses, rest hit.
+        assert res.counter_sum("schedule_cache_misses") == 2 * 4
+        assert res.counter_sum("schedule_cache_hits") == 2 * 4 * 4
+
+    def test_crystal_round_counters(self):
+        res = traced_jacobi(procs=8, sweeps=1)
+        # One inspected forall on an 8-rank hypercube: log2(8) = 3 rounds.
+        assert res.counter_max("crystal_rounds") == 3
+
+    def test_redistribute_volume_counters(self):
+        from repro.core.context import KaliContext
+        from repro.distributions import Block, Cyclic
+
+        ctx = KaliContext(4, machine=IDEAL, trace=True)
+        ctx.array("v", 16, dist=[Block()]).set(np.arange(16.0))
+
+        def program(kr):
+            yield from kr.redistribute("v", Cyclic())
+
+        res = ctx.run(program)
+        moved = res.engine.counter_sum("redistribute_elems_sent")
+        assert moved > 0
+        assert res.engine.counter_sum("redistribute_msgs") > 0
+        assert res.engine.counter_sum("redistribute_bytes") >= 8 * moved
+
+    def test_collective_call_counters(self):
+        from repro.comm.collectives import allreduce
+
+        def prog(rank):
+            total = yield from allreduce(rank, rank.id, lambda a, b: a + b)
+            return total
+
+        res = traced(prog, 4)
+        assert res.counter_sum("collective_calls") == 4
+        assert all(v == 6 for v in res.values)

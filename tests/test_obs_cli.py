@@ -1,0 +1,90 @@
+"""End-to-end tests for ``python -m repro.obs`` (capture/report/chrome)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main, phase_table
+from repro.obs.chrome_trace import validate_chrome_trace
+from repro.obs.registry import read_run_json
+
+
+@pytest.fixture(scope="module")
+def run_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("obs") / "run.json"
+    rc = main(["capture", "--procs", "4", "--rows", "8", "--cols", "8",
+               "--sweeps", "2", "--machine", "NCUBE/7", "-o", str(path)])
+    assert rc == 0
+    return str(path)
+
+
+class TestCaptureCommand:
+    def test_writes_loadable_run(self, run_file):
+        res = read_run_json(run_file)
+        assert res.nranks == 4
+        assert res.trace is not None and len(res.trace) > 0
+        assert res.makespan > 0
+
+    def test_records_meta(self, run_file):
+        doc = json.loads(open(run_file).read())
+        assert doc["meta"]["workload"] == "jacobi"
+        assert doc["meta"]["machine"] == "NCUBE/7"
+        assert doc["meta"]["procs"] == 4
+
+
+class TestReportCommand:
+    def test_renders_all_sections(self, run_file, capsys):
+        assert main(["report", run_file]) == 0
+        out = capsys.readouterr().out
+        for needle in (
+            "phase table", "metrics", "rank activity", "timeline",
+            "communication matrix", "critical path",
+            "reconciles exactly with RankStats",
+            "inspector", "executor", "legend",
+        ):
+            assert needle in out, f"report is missing {needle!r}"
+
+    def test_report_without_trace(self, tmp_path, capsys):
+        from repro.machine.cost import IDEAL
+        from repro.machine.engine import Engine
+        from repro.machine.topology import FullyConnected
+        from repro.obs.registry import write_run_json
+        from repro.machine.api import Compute
+
+        def prog(rank):
+            yield Compute(1.0, phase="work")
+
+        res = Engine(IDEAL, topology=FullyConnected(2)).run(prog)
+        path = tmp_path / "untraced.json"
+        write_run_json(res, str(path))
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "no trace" in out
+        assert "phase table" in out
+
+    def test_phase_table_shares(self):
+        from repro.machine.api import Compute
+        from repro.machine.cost import IDEAL
+        from repro.machine.engine import Engine
+        from repro.machine.topology import FullyConnected
+
+        def prog(rank):
+            yield Compute(3.0, phase="a")
+            yield Compute(1.0, phase="b")
+
+        res = Engine(IDEAL, topology=FullyConnected(2)).run(prog)
+        text = phase_table(res)
+        assert "75.0%" in text and "25.0%" in text and "makespan" in text
+
+
+class TestChromeCommand:
+    def test_exports_valid_trace(self, run_file, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["chrome", run_file, "-o", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+        assert any(e["ph"] == "s" for e in doc["traceEvents"])
+        assert "perfetto" in capsys.readouterr().out

@@ -121,6 +121,49 @@ class TestTimeline:
         assert [e.rank for e in spans] == [0] * len(spans)
         assert [e.start for e in spans] == sorted(e.start for e in spans)
 
+    def test_recv_wait_and_busy_glyphs(self):
+        """A late message shows up as wait (-) before drain (<)."""
+
+        def prog(rank):
+            if rank.id == 0:
+                yield Compute(8.0)
+                yield Send(dest=1, payload=b"x" * 4096, tag=1)
+            else:
+                yield Recv(source=0, tag=1)
+                yield Compute(2.0)
+
+        res = traced_run(prog, machine=NCUBE7)
+        recv = next(e for e in res.trace if e.kind == "recv")
+        assert recv.busy_start is not None
+        assert recv.wait_time > 0 and recv.busy_time > 0
+        assert recv.wait_time + recv.busy_time == pytest.approx(
+            recv.end - recv.start)
+
+        text = render_timeline(res.trace, width=60)
+        rank1 = next(l for l in text.splitlines() if l.startswith("rank   1"))
+        assert "-" in rank1  # wait portion while rank 0 computes
+        # The wait must come before any drain glyph.
+        assert rank1.index("-") < len(rank1) - 1
+
+    def test_finish_marker_column(self):
+        """Ranks that finish early keep a visible | at their finish time."""
+
+        def prog(rank):
+            yield Compute(10.0 if rank.id == 0 else 1.0)
+
+        res = traced_run(prog, n=3)
+        text = render_timeline(res.trace, width=50)
+        rows = [l for l in text.splitlines() if l.startswith("rank")]
+        assert all("|" in row[10:-1] for row in rows)
+        # Ranks 1,2 finish at t=1 of 10: marker in the left tenth.
+        for row in rows[1:]:
+            bar = row.split("|", 1)[1]
+            assert bar.index("|") <= len(bar) // 5
+
+    def test_wait_time_zero_for_other_kinds(self):
+        e = TraceEvent(rank=0, kind="compute", start=0.0, end=2.0)
+        assert e.wait_time == 0.0 and e.busy_time == 2.0
+
 
 class TestTraceWithKali:
     def test_forall_run_traced(self):

@@ -92,6 +92,8 @@ class CGSolver:
         nprocs: int,
         machine: MachineModel = NCUBE7,
         dist: Optional[DimDistribution] = None,
+        faults=None,
+        trace: bool = False,
     ):
         self.mesh = mesh
         n = mesh.n
@@ -99,7 +101,7 @@ class CGSolver:
         width = cols.shape[1]
         dist = dist if dist is not None else Block()
 
-        ctx = KaliContext(nprocs, machine=machine)
+        ctx = KaliContext(nprocs, machine=machine, faults=faults, trace=trace)
         self.ctx = ctx
         for name in ("x", "r", "p", "q", "b"):
             ctx.array(name, n, dist=[dist._clone()])

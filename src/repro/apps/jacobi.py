@@ -109,6 +109,7 @@ def build_jacobi(
     force_strategy=None,
     translation: str = "ranges",
     trace: bool = False,
+    faults=None,
 ) -> JacobiProgram:
     """Declare the Figure 4 arrays and foralls on a fresh context.
 
@@ -125,6 +126,7 @@ def build_jacobi(
         force_strategy=force_strategy,
         translation=translation,
         trace=trace,
+        faults=faults,
     )
     n, width = mesh.n, mesh.width
 

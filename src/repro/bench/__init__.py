@@ -11,10 +11,12 @@ from repro.bench.experiments import (
     AblationRow,
     caching_ablation,
     distribution_ablation,
+    drop_rate_experiment,
     handcoded_ablation,
     processor_scaling,
     single_sweep_overhead,
     size_scaling,
+    straggler_experiment,
     translation_ablation,
 )
 from repro.bench.tables import (
@@ -36,6 +38,8 @@ __all__ = [
     "translation_ablation",
     "handcoded_ablation",
     "distribution_ablation",
+    "drop_rate_experiment",
+    "straggler_experiment",
     "processor_table",
     "size_table",
     "overhead_table",

@@ -21,10 +21,12 @@ from repro.bench import calibration as cal
 from repro.bench import (
     caching_ablation,
     distribution_ablation,
+    drop_rate_experiment,
     handcoded_ablation,
     processor_scaling,
     single_sweep_overhead,
     size_scaling,
+    straggler_experiment,
     translation_ablation,
     ablation_table,
     dict_table,
@@ -153,6 +155,27 @@ def main(argv=None) -> int:
                        ["total", "executor", "inspector",
                         "remote_refs_per_sweep"],
                        key_header="dist"),
+        rows,
+    ))
+
+    rows = drop_rate_experiment(NCUBE7)
+    experiments.append((
+        "F1_drop_rates",
+        ablation_table("F1  ack/retry overhead vs message drop rate "
+                       "(repro.faults), NCUBE/7 P=8, 32x32", rows,
+                       ["makespan", "overhead", "retransmissions",
+                        "answer_ok"],
+                       key_header="drop"),
+        rows,
+    ))
+
+    rows = straggler_experiment(NCUBE7)
+    experiments.append((
+        "F2_stragglers",
+        ablation_table("F2  makespan amplification from one straggler rank "
+                       "(repro.faults), NCUBE/7 P=8, 32x32", rows,
+                       ["makespan", "slowdown"],
+                       key_header="straggler"),
         rows,
     ))
 

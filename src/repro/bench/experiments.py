@@ -254,3 +254,86 @@ def distribution_ablation(
             },
         ))
     return rows
+
+
+# --- robustness experiments (repro.faults) -------------------------------
+
+
+def drop_rate_experiment(
+    machine: MachineModel,
+    nprocs: int = 8,
+    mesh_side: int = 32,
+    sweeps: int = 3,
+    rates=(0.0, 0.01, 0.05, 0.10),
+    seed: int = 7,
+) -> List[AblationRow]:
+    """F1: cost of surviving message loss with the ack/retry transport.
+
+    Runs the same Jacobi workload under increasing uniform drop rates
+    (retry enabled) and reports the makespan overhead over the fault-free
+    run, the retransmission count, and whether the answer stayed
+    identical (it must — retries change timing, never values).
+    """
+    import numpy as np
+
+    from repro.faults import FaultPlan, RetryPolicy
+
+    mesh = five_point_grid(mesh_side, mesh_side)
+    base = build_jacobi(mesh, nprocs, machine=machine)
+    base_res = base.run(sweeps=sweeps)
+    base_solution = base.solution
+
+    rows = []
+    for rate in rates:
+        plan = FaultPlan.uniform(seed=seed, drop=rate, retry=RetryPolicy())
+        prog = build_jacobi(mesh, nprocs, machine=machine, faults=plan)
+        res = prog.run(sweeps=sweeps)
+        retrans = res.engine.counter_sum("retry_retransmissions")
+        rows.append(AblationRow(
+            key=f"{100 * rate:g}%",
+            values={
+                "makespan": res.makespan,
+                "overhead": res.makespan / base_res.makespan - 1.0,
+                "retransmissions": float(retrans),
+                "answer_ok": float(np.array_equal(prog.solution,
+                                                  base_solution)),
+            },
+        ))
+    return rows
+
+
+def straggler_experiment(
+    machine: MachineModel,
+    nprocs: int = 8,
+    mesh_side: int = 32,
+    sweeps: int = 3,
+    factors=(1.0, 2.0, 4.0, 8.0),
+    straggler_rank: int = 0,
+) -> List[AblationRow]:
+    """F2: how one slow rank serialises a tightly-coupled computation.
+
+    Slows a single rank's compute by each factor and reports the
+    makespan amplification — in lock-step stencil codes one straggler
+    stalls everyone, which is exactly what the experiment shows.
+    """
+    from repro.faults import FaultPlan
+
+    mesh = five_point_grid(mesh_side, mesh_side)
+    base = build_jacobi(mesh, nprocs, machine=machine)
+    base_makespan = base.run(sweeps=sweeps).makespan
+
+    rows = []
+    for factor in factors:
+        plan = FaultPlan.uniform(
+            seed=0, stragglers={straggler_rank: factor} if factor > 1.0 else {}
+        )
+        res = build_jacobi(mesh, nprocs, machine=machine,
+                           faults=plan).run(sweeps=sweeps)
+        rows.append(AblationRow(
+            key=f"x{factor:g}",
+            values={
+                "makespan": res.makespan,
+                "slowdown": res.makespan / base_makespan,
+            },
+        ))
+    return rows

@@ -5,6 +5,10 @@ the collective operations (binomial-tree / recursive-doubling algorithms,
 as vendor libraries of the era provided) and Fox's *crystal router*, the
 all-to-all personalised exchange the paper's inspector uses to turn
 ``in(p,q)`` sets into ``out(p,q)`` sets without bottlenecks (§3.3).
+
+:mod:`repro.comm.reliable` adds the ack/retry transport that keeps those
+exchanges exactly-once on lossy links (enabled via a
+:class:`~repro.faults.FaultPlan` with a ``retry`` policy).
 """
 
 from repro.comm.collectives import (
@@ -18,6 +22,12 @@ from repro.comm.collectives import (
     scan,
 )
 from repro.comm.crystal import crystal_route
+from repro.comm.reliable import (
+    Attempt,
+    RetryPolicy,
+    TransmissionPlan,
+    plan_transmissions,
+)
 
 __all__ = [
     "barrier",
@@ -29,4 +39,8 @@ __all__ = [
     "alltoall",
     "scan",
     "crystal_route",
+    "Attempt",
+    "RetryPolicy",
+    "TransmissionPlan",
+    "plan_transmissions",
 ]

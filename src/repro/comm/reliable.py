@@ -1,0 +1,122 @@
+"""At-least-once ack/retry transport over lossy simulated links.
+
+The executor and crystal router assume every message arrives exactly
+once.  Under a :class:`~repro.faults.plan.FaultPlan` with nonzero drop
+rates that assumption breaks; this module provides the reliability layer
+that restores it — the protocol PGAS runtimes layer under their
+one-sided operations when the fabric is not assumed perfect.
+
+Protocol (per logical message):
+
+1. The sender transmits a DATA frame — the payload plus a
+   ``header_nbytes`` sequence header — and arms a retransmission timer of
+   ``timeout`` virtual seconds.
+2. The receiver's transport acknowledges every DATA frame it sees
+   (``ack_nbytes`` on the reverse link) and suppresses frames whose
+   sequence number it already delivered (at-least-once on the wire,
+   exactly-once at the mailbox).
+3. The sender retransmits on timer expiry, up to ``max_retries`` times;
+   exhausting the budget raises
+   :class:`~repro.errors.DeliveryError` (at-least-once semantics: an
+   unacknowledged send cannot be reported as delivered even if a copy
+   arrived).
+
+The protocol runs *inside the engine's delivery layer* rather than as
+rank-program ops: retransmission timers are transport work that overlaps
+the rank's own computation, so only frame-injection busy time is charged
+to the sender's clock while the retry delay shows up as later message
+arrival.  :func:`plan_transmissions` precomputes the whole exchange —
+which attempts lose their DATA, which lose their ACK — as a pure function
+of the plan's seed and the message identity, which is what keeps faulted
+runs deterministic.  See ``docs/robustness.md`` for the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.faults.plan import FaultPlan, RetryPolicy
+
+__all__ = ["RetryPolicy", "Attempt", "TransmissionPlan", "plan_transmissions"]
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One DATA transmission attempt and the fate the plan assigns it."""
+
+    index: int
+    data_ok: bool     # the DATA frame reached the receiver
+    ack_ok: bool      # ... and its ACK made it back to the sender
+    jitter: float     # extra wire delay for this attempt's DATA frame
+
+
+@dataclass(frozen=True)
+class TransmissionPlan:
+    """The complete predetermined exchange for one logical message.
+
+    ``attempts`` covers every transmission the sender makes (it stops
+    after the first acknowledged one, or after exhausting the budget).
+    ``delivered`` is the index of the attempt whose DATA frame arrives
+    first (None if every attempt lost its DATA); later arriving copies
+    are duplicates the receiver suppresses.
+    """
+
+    attempts: List[Attempt]
+    delivered: Optional[int]
+
+    @property
+    def failed(self) -> bool:
+        """True when no attempt was acknowledged within the budget."""
+        return not any(a.ack_ok for a in self.attempts)
+
+    @property
+    def retransmissions(self) -> int:
+        return len(self.attempts) - 1
+
+    @property
+    def duplicates(self) -> int:
+        """DATA copies that arrive after the first (receiver-suppressed)."""
+        if self.delivered is None:
+            return 0
+        return sum(
+            1 for a in self.attempts if a.data_ok and a.index > self.delivered
+        )
+
+
+def plan_transmissions(
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    source: int,
+    dest: int,
+    seq: int,
+) -> TransmissionPlan:
+    """Predetermine every attempt of one reliable send.
+
+    DATA frames face the ``source -> dest`` link's drop rate and jitter;
+    ACKs face the reverse link's drop rate.  All draws key on
+    ``(seed, salt, source, dest, seq, attempt)`` so the outcome is
+    independent of when (or in what order) the engine asks.
+    """
+    fwd = plan.link(source, dest)
+    rev = plan.link(dest, source)
+    attempts: List[Attempt] = []
+    delivered: Optional[int] = None
+    for k in range(policy.max_retries + 1):
+        data_ok = fwd.drop == 0.0 or \
+            plan.unit("retry-data", source, dest, seq, k) >= fwd.drop
+        ack_ok = data_ok and (
+            rev.drop == 0.0
+            or plan.unit("retry-ack", source, dest, seq, k) >= rev.drop
+        )
+        jitter = (
+            plan.unit("retry-jitter", source, dest, seq, k) * fwd.jitter
+            if fwd.jitter > 0.0 else 0.0
+        )
+        attempts.append(Attempt(index=k, data_ok=data_ok, ack_ok=ack_ok,
+                                jitter=jitter))
+        if delivered is None and data_ok:
+            delivered = k
+        if ack_ok:
+            break
+    return TransmissionPlan(attempts=attempts, delivered=delivered)

@@ -252,6 +252,7 @@ class KaliContext:
         translation: str = "ranges",
         combine_messages: bool = True,
         trace: bool = False,
+        faults=None,
     ):
         self.procs = procs or ProcessorArray(nprocs)
         if self.procs.size != nprocs:
@@ -269,6 +270,7 @@ class KaliContext:
         self.translation = translation
         self.combine_messages = combine_messages
         self.trace = trace
+        self.faults = faults
         self.arrays: Dict[str, DistributedArray] = {}
 
     # --- declarations ------------------------------------------------------
@@ -321,7 +323,8 @@ class KaliContext:
             return result
 
         engine = Engine(self.machine, topology=self.topology,
-                        nranks=self.procs.size, trace=self.trace)
+                        nranks=self.procs.size, trace=self.trace,
+                        faults=self.faults)
         engine_result = engine.run(rank_main)
 
         # Gather per-rank pieces back into the driver-side global arrays.

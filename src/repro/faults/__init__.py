@@ -1,0 +1,17 @@
+"""Deterministic fault injection and robustness tooling.
+
+:class:`FaultPlan` (with :class:`LinkFaults` and :class:`RetryPolicy`)
+describes how the simulated machine misbehaves — message drop /
+duplication / delay jitter per link, per-rank compute stragglers, and
+rank crashes — all derived from one seed so faulted runs stay exactly
+reproducible.  Hand a plan to ``Engine(..., faults=plan)`` or
+``KaliContext(..., faults=plan)``; replay plans from the command line
+with ``python -m repro.faults``.  The ack/retry transport that survives
+lossy links lives in :mod:`repro.comm.reliable`.
+
+See ``docs/robustness.md`` for the fault model and protocol reference.
+"""
+
+from repro.faults.plan import PLAN_FORMAT, FaultPlan, LinkFaults, RetryPolicy
+
+__all__ = ["FaultPlan", "LinkFaults", "RetryPolicy", "PLAN_FORMAT"]

@@ -1,0 +1,247 @@
+"""Fault-injection CLI: ``python -m repro.faults <command>``.
+
+Commands
+--------
+``template``  write a representative fault-plan JSON to edit by hand::
+
+    python -m repro.faults template -o plan.json
+
+``replay``    run a workload under a fault plan — from a plan file or
+from flags — and report what the plan did to it::
+
+    python -m repro.faults replay --app jacobi --procs 8 --rows 16 \\
+        --cols 16 --sweeps 3 --drop 0.05 --retry --seed 7 --check \\
+        -o faulted.json
+    python -m repro.faults replay --plan plan.json --app jacobi --check
+
+``--check`` re-runs the same workload fault-free and verifies the
+faulted run produced the **same numerical answer** (exit status 1 if it
+diverged), reporting the virtual-time overhead the faults cost.  ``-o``
+writes a traced ``repro-run-v1`` file for ``python -m repro.obs``.
+Because plans are deterministic, replaying the same plan twice yields
+byte-identical runs — which is what makes a failure under faults
+debuggable at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DeadlockError, DeliveryError, FaultError
+from repro.faults.plan import FaultPlan, LinkFaults, RetryPolicy
+
+FAULT_COUNTERS = (
+    "fault_messages_dropped",
+    "fault_messages_duplicated",
+    "fault_messages_delayed",
+    "fault_crashes",
+    "retry_retransmissions",
+    "retry_duplicates_suppressed",
+    "recv_timeouts",
+)
+
+
+class CliError(Exception):
+    """A user-facing CLI failure: printed as one line, exit status 2."""
+
+
+def _parse_rank_map(specs, what: str):
+    """Parse repeated ``RANK:VALUE`` flags into ``{rank: value}``."""
+    out = {}
+    for spec in specs or []:
+        try:
+            r, v = spec.split(":", 1)
+            out[int(r)] = float(v)
+        except ValueError:
+            raise CliError(
+                f"bad {what} spec {spec!r} (expected RANK:VALUE)") from None
+    return out
+
+
+def plan_from_args(args) -> FaultPlan:
+    if args.plan is not None:
+        return FaultPlan.from_json(args.plan)
+    retry = None
+    if args.retry:
+        retry = RetryPolicy(timeout=args.timeout, max_retries=args.max_retries)
+    return FaultPlan.uniform(
+        seed=args.seed,
+        drop=args.drop,
+        duplicate=args.duplicate,
+        jitter=args.jitter,
+        retry=retry,
+        stragglers=_parse_rank_map(args.straggler, "straggler"),
+        crashes=_parse_rank_map(args.crash, "crash"),
+    )
+
+
+def _run_app(args, machine, faults, trace: bool):
+    """Run the selected workload; returns (RunResult, solution ndarray)."""
+    from repro.meshes.regular import five_point_grid
+
+    mesh = five_point_grid(args.rows, args.cols)
+    if args.app == "jacobi":
+        from repro.apps.jacobi import build_jacobi
+
+        prog = build_jacobi(mesh, args.procs, machine=machine,
+                            faults=faults, trace=trace)
+        res = prog.run(args.sweeps)
+        return res.engine, prog.solution
+    if args.app == "cg":
+        from repro.apps.cg import CGSolver
+
+        solver = CGSolver(mesh, args.procs, machine=machine,
+                          faults=faults, trace=trace)
+        rng = np.random.default_rng(42)
+        result = solver.solve(rng.random(mesh.n), max_iter=args.sweeps)
+        return result.timing.engine, result.solution
+    raise CliError(f"unknown app {args.app!r} (choose jacobi or cg)")
+
+
+def _fault_counter_table(result) -> str:
+    lines = []
+    for name in FAULT_COUNTERS:
+        total = sum(s.counters.get(name, 0) for s in result.stats)
+        if total:
+            lines.append(f"  {name:<28} {total:>8}")
+    return "\n".join(lines) if lines else "  (no fault counters fired)"
+
+
+def cmd_template(args) -> int:
+    plan = FaultPlan(
+        seed=7,
+        default_link=LinkFaults(drop=0.05, duplicate=0.01, jitter=0.0005),
+        links={(0, 1): LinkFaults(drop=0.2)},
+        stragglers={3: 2.0},
+        crashes={},
+        retry=RetryPolicy(),
+    )
+    with open(args.out, "w") as fh:
+        fh.write(plan.to_json() + "\n")
+    print(f"wrote {args.out} ({plan.describe()})")
+    print("edit it, then: python -m repro.faults replay --plan "
+          f"{args.out} --app jacobi --check")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.machine.cost import PRESETS
+
+    if args.machine not in PRESETS:
+        raise CliError(
+            f"unknown machine {args.machine!r}; "
+            f"choose from: {', '.join(sorted(PRESETS))}"
+        )
+    machine = PRESETS[args.machine]
+    plan = plan_from_args(args)
+    print(f"fault plan: {plan.describe()}")
+    trace = args.out is not None
+
+    try:
+        result, solution = _run_app(args, machine, plan, trace)
+    except DeadlockError as exc:
+        print(f"\nrun deadlocked under the fault plan:\n{exc}")
+        return 1
+    except DeliveryError as exc:
+        print(f"\nretry budget exhausted: {exc}")
+        return 1
+
+    print(f"faulted run: makespan {result.makespan:.6f}s")
+    print("fault counters (summed over ranks):")
+    print(_fault_counter_table(result))
+
+    status = 0
+    if args.check:
+        clean, clean_solution = _run_app(args, machine, None, False)
+        overhead = result.makespan - clean.makespan
+        pct = 100.0 * overhead / clean.makespan if clean.makespan else 0.0
+        print(f"fault-free run: makespan {clean.makespan:.6f}s "
+              f"(fault overhead {overhead:+.6f}s, {pct:+.2f}%)")
+        if np.array_equal(solution, clean_solution):
+            print("check OK: faulted answer is identical to fault-free answer")
+        else:
+            diff = float(np.max(np.abs(solution - clean_solution)))
+            print(f"check FAILED: answers diverge (max abs diff {diff:.3e})")
+            status = 1
+
+    if args.out is not None:
+        from repro.obs.registry import write_run_json
+
+        meta = {
+            "workload": args.app,
+            "machine": machine.name,
+            "procs": args.procs,
+            "rows": args.rows,
+            "cols": args.cols,
+            "sweeps": args.sweeps,
+            "fault_plan": plan.describe(),
+        }
+        write_run_json(result, args.out, meta=meta)
+        print(f"wrote {args.out}: {result.nranks} ranks, "
+              f"{len(result.trace)} trace events "
+              f"(inspect with: python -m repro.obs report {args.out})")
+    return status
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="deterministic fault injection for simulated runs",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    tpl = sub.add_parser("template", help="write an editable fault-plan JSON")
+    tpl.add_argument("-o", "--out", default="plan.json")
+    tpl.set_defaults(fn=cmd_template)
+
+    rep = sub.add_parser("replay", help="run a workload under a fault plan")
+    rep.add_argument("--plan", default=None,
+                     help="fault-plan JSON (overrides the fault flags)")
+    rep.add_argument("--seed", type=int, default=0)
+    rep.add_argument("--drop", type=float, default=0.0,
+                     help="per-message drop probability on every link")
+    rep.add_argument("--duplicate", type=float, default=0.0,
+                     help="per-message duplication probability")
+    rep.add_argument("--jitter", type=float, default=0.0,
+                     help="max extra arrival delay in virtual seconds")
+    rep.add_argument("--straggler", action="append", metavar="RANK:FACTOR",
+                     help="slow a rank's compute by FACTOR (repeatable)")
+    rep.add_argument("--crash", action="append", metavar="RANK:TIME",
+                     help="kill a rank at a virtual time (repeatable)")
+    rep.add_argument("--retry", action="store_true",
+                     help="enable the ack/retry transport (survives drops)")
+    rep.add_argument("--timeout", type=float, default=0.01,
+                     help="retry retransmission timer (virtual seconds)")
+    rep.add_argument("--max-retries", type=int, default=8)
+    rep.add_argument("--app", default="jacobi", choices=("jacobi", "cg"))
+    rep.add_argument("--procs", type=int, default=8)
+    rep.add_argument("--rows", type=int, default=16)
+    rep.add_argument("--cols", type=int, default=16)
+    rep.add_argument("--sweeps", type=int, default=3,
+                     help="Jacobi sweeps (or CG max iterations)")
+    rep.add_argument("--machine", default="NCUBE/7",
+                     help="cost-model preset name (NCUBE/7, iPSC/2, "
+                          "modern-cluster, ideal)")
+    rep.add_argument("--check", action="store_true",
+                     help="also run fault-free and compare the answers")
+    rep.add_argument("-o", "--out", default=None,
+                     help="write a traced repro-run-v1 file")
+    rep.set_defaults(fn=cmd_replay)
+    return ap
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except (CliError, FaultError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,279 @@
+"""Seeded, deterministic fault-injection plans for the SPMD engine.
+
+A :class:`FaultPlan` describes how the simulated interconnect and nodes
+misbehave: per-link message **drop**, **duplication**, and **delay
+jitter**; per-rank compute **slowdown** ("stragglers"); and per-rank
+**crash** times.  The engine consults the plan at every message injection
+and compute charge, so a plan turns any existing program into a
+robustness experiment without touching the program.
+
+Determinism is the design center.  Every random decision is a pure
+function of ``(seed, salt, message identity)`` through a splitmix64-style
+counter hash — no mutable RNG stream — so decisions do not depend on host
+execution order, dict iteration, or how many *other* faults fired first.
+Two runs of the same program under the same plan produce byte-identical
+virtual clocks, statistics, and results.
+
+Plans serialize to a small JSON document (format ``repro-faultplan-v1``)
+consumed by ``python -m repro.faults``; see ``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import FaultError
+
+PLAN_FORMAT = "repro-faultplan-v1"
+
+_MASK = (1 << 64) - 1
+_GAMMA = 0x9E3779B97F4A7C15
+
+
+def _mix(h: int) -> int:
+    """The splitmix64 finalizer: a high-quality 64-bit avalanche."""
+    h &= _MASK
+    h ^= h >> 30
+    h = (h * 0xBF58476D1CE4E5B9) & _MASK
+    h ^= h >> 27
+    h = (h * 0x94D049BB133111EB) & _MASK
+    h ^= h >> 31
+    return h
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Fault rates for one directed link (or the all-links default).
+
+    ``drop`` / ``duplicate`` are probabilities in ``[0, 1)``; ``jitter``
+    is the maximum extra wire delay in virtual seconds (the actual delay
+    of a message is uniform in ``[0, jitter)``).
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self):
+        for name in ("drop", "duplicate"):
+            v = getattr(self, name)
+            if not (0.0 <= v < 1.0):
+                raise FaultError(f"link {name} rate must be in [0, 1), got {v}")
+        if self.jitter < 0.0:
+            raise FaultError(f"link jitter must be >= 0, got {self.jitter}")
+
+    @property
+    def clean(self) -> bool:
+        return self.drop == 0.0 and self.duplicate == 0.0 and self.jitter == 0.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Parameters of the ack/retry transport (see ``repro.comm.reliable``).
+
+    ``timeout`` is the sender's retransmission timer in virtual seconds;
+    ``max_retries`` bounds retransmissions *after* the first attempt.
+    ``header_nbytes`` is the sequence-number header added to every DATA
+    frame; ``ack_nbytes`` is the wire size of an ACK.
+    """
+
+    timeout: float = 0.01
+    max_retries: int = 8
+    header_nbytes: int = 12
+    ack_nbytes: int = 16
+
+    def __post_init__(self):
+        if self.timeout <= 0.0:
+            raise FaultError(f"retry timeout must be > 0, got {self.timeout}")
+        if self.max_retries < 0:
+            raise FaultError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.header_nbytes < 0 or self.ack_nbytes < 0:
+            raise FaultError("retry frame sizes must be >= 0")
+
+
+@dataclass
+class FaultPlan:
+    """A complete, seeded description of machine misbehaviour.
+
+    ``links`` overrides ``default_link`` for specific ``(src, dst)``
+    directed pairs.  ``stragglers`` maps rank -> compute slowdown factor
+    (>= 1).  ``crashes`` maps rank -> virtual time at which the rank stops
+    executing.  ``retry`` enables the at-least-once ack/retry transport
+    for every message (required to *survive* nonzero drop rates).
+    """
+
+    seed: int = 0
+    default_link: LinkFaults = field(default_factory=LinkFaults)
+    links: Dict[Tuple[int, int], LinkFaults] = field(default_factory=dict)
+    stragglers: Dict[int, float] = field(default_factory=dict)
+    crashes: Dict[int, float] = field(default_factory=dict)
+    retry: Optional[RetryPolicy] = None
+
+    def __post_init__(self):
+        for r, f in self.stragglers.items():
+            if f < 1.0:
+                raise FaultError(
+                    f"straggler factor for rank {r} must be >= 1, got {f}"
+                )
+        for r, t in self.crashes.items():
+            if t < 0.0:
+                raise FaultError(f"crash time for rank {r} must be >= 0, got {t}")
+
+    # --- convenience constructors ---------------------------------------
+
+    @classmethod
+    def uniform(
+        cls,
+        seed: int = 0,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        jitter: float = 0.0,
+        retry: Optional[RetryPolicy] = None,
+        stragglers: Optional[Dict[int, float]] = None,
+        crashes: Optional[Dict[int, float]] = None,
+    ) -> "FaultPlan":
+        """A plan applying the same fault rates to every link."""
+        return cls(
+            seed=seed,
+            default_link=LinkFaults(drop=drop, duplicate=duplicate, jitter=jitter),
+            stragglers=dict(stragglers or {}),
+            crashes=dict(crashes or {}),
+            retry=retry,
+        )
+
+    # --- queries ---------------------------------------------------------
+
+    def link(self, src: int, dst: int) -> LinkFaults:
+        return self.links.get((src, dst), self.default_link)
+
+    def slowdown(self, rank: int) -> float:
+        return self.stragglers.get(rank, 1.0)
+
+    def crash_time(self, rank: int) -> Optional[float]:
+        return self.crashes.get(rank)
+
+    @property
+    def has_link_faults(self) -> bool:
+        return not self.default_link.clean or any(
+            not lf.clean for lf in self.links.values()
+        )
+
+    def unit(self, salt: str, *parts: int) -> float:
+        """A deterministic uniform draw in ``[0, 1)``.
+
+        Pure function of ``(seed, salt, parts)`` — independent of call
+        order, so the same message always gets the same fate.
+        """
+        h = _mix(self.seed ^ _GAMMA)
+        h = _mix(h ^ zlib.crc32(salt.encode("ascii")))
+        for p in parts:
+            h = _mix(h ^ ((int(p) * _GAMMA) & _MASK))
+        return h / float(1 << 64)
+
+    # --- (de)serialization ------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        doc: Dict = {
+            "format": PLAN_FORMAT,
+            "seed": self.seed,
+            "default_link": {
+                "drop": self.default_link.drop,
+                "duplicate": self.default_link.duplicate,
+                "jitter": self.default_link.jitter,
+            },
+            "links": [
+                {"src": s, "dst": d, "drop": lf.drop,
+                 "duplicate": lf.duplicate, "jitter": lf.jitter}
+                for (s, d), lf in sorted(self.links.items())
+            ],
+            "stragglers": {str(r): f for r, f in sorted(self.stragglers.items())},
+            "crashes": {str(r): t for r, t in sorted(self.crashes.items())},
+        }
+        if self.retry is not None:
+            doc["retry"] = {
+                "timeout": self.retry.timeout,
+                "max_retries": self.retry.max_retries,
+                "header_nbytes": self.retry.header_nbytes,
+                "ack_nbytes": self.retry.ack_nbytes,
+            }
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "FaultPlan":
+        if doc.get("format") != PLAN_FORMAT:
+            raise FaultError(
+                f"not a {PLAN_FORMAT} document (format={doc.get('format')!r})"
+            )
+
+        def _link(d: Dict) -> LinkFaults:
+            try:
+                return LinkFaults(
+                    drop=float(d.get("drop", 0.0)),
+                    duplicate=float(d.get("duplicate", 0.0)),
+                    jitter=float(d.get("jitter", 0.0)),
+                )
+            except (TypeError, ValueError) as exc:
+                raise FaultError(f"bad link spec {d!r}: {exc}") from exc
+
+        links: Dict[Tuple[int, int], LinkFaults] = {}
+        for entry in doc.get("links", []):
+            if "src" not in entry or "dst" not in entry:
+                raise FaultError(f"link entry needs src and dst: {entry!r}")
+            links[(int(entry["src"]), int(entry["dst"]))] = _link(entry)
+        retry = None
+        if "retry" in doc and doc["retry"] is not None:
+            rd = doc["retry"]
+            retry = RetryPolicy(
+                timeout=float(rd.get("timeout", 0.01)),
+                max_retries=int(rd.get("max_retries", 8)),
+                header_nbytes=int(rd.get("header_nbytes", 12)),
+                ack_nbytes=int(rd.get("ack_nbytes", 16)),
+            )
+        return cls(
+            seed=int(doc.get("seed", 0)),
+            default_link=_link(doc.get("default_link", {})),
+            links=links,
+            stragglers={int(r): float(f)
+                        for r, f in doc.get("stragglers", {}).items()},
+            crashes={int(r): float(t) for r, t in doc.get("crashes", {}).items()},
+            retry=retry,
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, path: str) -> "FaultPlan":
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except OSError as exc:
+            raise FaultError(f"cannot read fault plan: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise FaultError(f"{path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(doc)
+
+    def describe(self) -> str:
+        """One paragraph for CLI banners and run metadata."""
+        bits = [f"seed={self.seed}"]
+        dl = self.default_link
+        if not dl.clean:
+            bits.append(
+                f"default link drop={dl.drop} dup={dl.duplicate} jitter={dl.jitter}"
+            )
+        if self.links:
+            bits.append(f"{len(self.links)} per-link overrides")
+        if self.stragglers:
+            bits.append("stragglers " + ", ".join(
+                f"rank {r} x{f:g}" for r, f in sorted(self.stragglers.items())))
+        if self.crashes:
+            bits.append("crashes " + ", ".join(
+                f"rank {r} at t={t:g}" for r, t in sorted(self.crashes.items())))
+        bits.append(
+            f"retry timeout={self.retry.timeout:g} max={self.retry.max_retries}"
+            if self.retry is not None else "no retry protocol"
+        )
+        return "; ".join(bits)

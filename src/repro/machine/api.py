@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.errors import CommunicationError
+
 ANY_SOURCE = -1
 ANY_TAG = -1
 
@@ -72,6 +74,21 @@ class Send(Op):
     phase: str = DEFAULT_PHASE
     label: str = ""
 
+    def __post_init__(self):
+        if self.dest < 0:
+            raise CommunicationError(
+                f"Send dest must be a valid rank (>= 0), got {self.dest}"
+            )
+        if self.tag < 0:
+            raise CommunicationError(
+                f"Send tag must be >= 0 (wildcards are receive-side only), "
+                f"got {self.tag}"
+            )
+        if self.nbytes is not None and self.nbytes < 0:
+            raise CommunicationError(
+                f"Send nbytes must be >= 0, got {self.nbytes}"
+            )
+
     def wire_size(self) -> int:
         return self.nbytes if self.nbytes is not None else payload_nbytes(self.payload)
 
@@ -83,12 +100,32 @@ class Recv(Op):
     ``source``/``tag`` may be :data:`ANY_SOURCE`/:data:`ANY_TAG`.  Wildcard
     *sources* are resolved conservatively (only once every other rank is
     blocked or finished) so results stay deterministic.
+
+    ``timeout`` bounds the wait in virtual seconds: if no matching message
+    can complete by ``block time + timeout``, the receive resumes the
+    generator with ``None`` instead of a :class:`Message` — the primitive
+    that timeout-based recovery protocols are built from.
     """
 
     source: int = ANY_SOURCE
     tag: int = ANY_TAG
     phase: str = DEFAULT_PHASE
     label: str = ""
+    timeout: Optional[float] = None
+
+    def __post_init__(self):
+        if self.source < ANY_SOURCE:
+            raise CommunicationError(
+                f"Recv source must be a rank or ANY_SOURCE, got {self.source}"
+            )
+        if self.tag < ANY_TAG:
+            raise CommunicationError(
+                f"Recv tag must be >= 0 or ANY_TAG, got {self.tag}"
+            )
+        if self.timeout is not None and self.timeout <= 0.0:
+            raise CommunicationError(
+                f"Recv timeout must be > 0, got {self.timeout}"
+            )
 
 
 @dataclass

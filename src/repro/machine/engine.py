@@ -18,6 +18,33 @@ message with the earliest arrival time (ties broken by source rank, then
 sequence number).  The generated Kali runtime never needs wildcard sources
 — schedules name their peers — but collectives tests and user programs may
 use them.
+
+Fault injection
+---------------
+
+An optional :class:`~repro.faults.FaultPlan` makes the simulated machine
+misbehave deterministically.  The plan hooks into exactly two places:
+
+* **Compute charging** — straggler ranks multiply every
+  :class:`~repro.machine.api.Compute` charge by their slowdown factor,
+  and a rank whose crash time has passed stops executing at its next op
+  boundary.
+* **Message injection** — each send consults the plan for the link's
+  fate: *drop* (the message never reaches the mailbox; the sender is
+  still charged), *duplicate* (a second copy with the same sequence
+  number arrives), and *jitter* (extra arrival delay).  With
+  ``plan.retry`` set, the engine instead simulates the ack/retry
+  transport from :mod:`repro.comm.reliable`: the whole exchange is
+  precomputed as a pure function of the plan seed and the message
+  identity, the sender's clock is charged for every frame injection plus
+  one ack receipt, and the surviving copy arrives after the appropriate
+  number of timeout periods.  Exhausting the retry budget raises
+  :class:`~repro.errors.DeliveryError`.
+
+Every fault decision keys on ``(seed, salt, src, dst, seq)`` — never on
+host execution order — so a faulted run is exactly as reproducible as a
+clean one, and a plan whose links are clean leaves virtual clocks
+byte-identical to running with no plan at all.
 """
 
 from __future__ import annotations
@@ -25,7 +52,14 @@ from __future__ import annotations
 from collections import defaultdict, deque
 from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
 
-from repro.errors import CommunicationError, DeadlockError, EngineError
+from repro.errors import (
+    BlockedOp,
+    CommunicationError,
+    DeadlockError,
+    DeliveryError,
+    EngineError,
+)
+from repro.faults.plan import FaultPlan
 from repro.machine.api import (
     ANY_SOURCE,
     ANY_TAG,
@@ -48,6 +82,7 @@ RankProgram = Callable[[Rank], Generator[Op, Any, Any]]
 _RUNNABLE = 0
 _BLOCKED = 1
 _FINISHED = 2
+_CRASHED = 3
 
 
 class _RankState:
@@ -87,6 +122,9 @@ class Engine:
     max_ops:
         Safety valve: abort after this many interpreted ops (guards against
         accidentally non-terminating rank programs in tests).
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` describing link faults,
+        stragglers, and crashes (see module docstring).
     """
 
     def __init__(
@@ -96,6 +134,7 @@ class Engine:
         nranks: Optional[int] = None,
         max_ops: int = 500_000_000,
         trace: bool = False,
+        faults: Optional[FaultPlan] = None,
     ):
         if topology is None:
             if nranks is None:
@@ -110,6 +149,7 @@ class Engine:
             )
         self.max_ops = max_ops
         self.trace = trace
+        self.faults = faults
 
     # --- public API ------------------------------------------------------
 
@@ -138,12 +178,40 @@ class Engine:
                 )
             states.append(_RankState(r, gen, RankStats(r)))
 
+        faults = self.faults
+        retry = faults.retry if faults is not None else None
+        if retry is not None:
+            # Imported lazily: repro.comm.reliable imports repro.faults,
+            # which must stay importable without the comm package.
+            from repro.comm.reliable import plan_transmissions
+        crash_at: Dict[int, float] = dict(faults.crashes) if faults else {}
+        dropped_total = 0
+
         # mailbox[(dst, src, tag)] -> FIFO of messages
         mailbox: Dict[Tuple[int, int, int], Deque[Message]] = defaultdict(deque)
         ready: Deque[int] = deque(range(self.nranks))
         seq_counter = 0
         ops_interpreted = 0
         trace_events: List[TraceEvent] = [] if self.trace else None
+
+        def fault_event(rank: int, label: str, t: float, peer=None, tag=None,
+                        nbytes: int = 0, phase: str = "") -> None:
+            if trace_events is not None:
+                trace_events.append(TraceEvent(
+                    rank=rank, kind="fault", start=t, end=t, phase=phase,
+                    peer=peer, tag=tag, nbytes=nbytes, label=label,
+                ))
+
+        def crash(state: _RankState, at: float) -> None:
+            state.status = _CRASHED
+            state.clock = max(state.clock, at)
+            state.waiting = None
+            try:
+                state.gen.close()
+            except Exception:
+                pass  # a crash must not be masked by generator cleanup
+            state.stats.count("fault_crashes", 1)
+            fault_event(state.rank_id, "crash", state.clock)
 
         def try_match(state: _RankState, recv: Recv) -> Optional[Message]:
             """Match a receive against the mailbox; wildcard-source receives
@@ -166,6 +234,17 @@ class Engine:
             # Ties break by source, then send order (seq) — never by tag,
             # which would reorder same-arrival messages from one sender.
             return min(candidates, key=lambda m: (m.arrival, m.source, m.seq))
+
+        def can_deliver(state: _RankState, recv: Recv, msg: Message) -> bool:
+            """Would delivering ``msg`` respect the receive's timeout and
+            the rank's crash time?"""
+            ready_at = max(state.clock, msg.arrival)
+            ct = crash_at.get(state.rank_id)
+            if ct is not None and ready_at >= ct:
+                return False
+            if recv.timeout is not None and msg.arrival > state.clock + recv.timeout:
+                return False
+            return True
 
         def consume(msg: Message) -> None:
             q = mailbox[(msg.dest, msg.source, msg.tag)]
@@ -192,10 +271,125 @@ class Engine:
                     seq=msg.seq, busy_start=busy_start,
                 ))
 
+        def wake_receiver(dest: int, source: int, tag: int) -> None:
+            """Wake ``dest`` if it is blocked on a matching receive.  A
+            wildcard-source receiver is woken too: it re-enters the
+            resolution path, which stays conservative because the
+            resolution phase only runs when nothing else can."""
+            dst_state = states[dest]
+            if dst_state.status != _BLOCKED:
+                return
+            w = dst_state.waiting
+            if w is None or w.source != source:
+                return
+            if not (w.tag == ANY_TAG or w.tag == tag):
+                return
+            m = try_match(dst_state, w)
+            if m is not None and can_deliver(dst_state, w, m):
+                dst_state.status = _RUNNABLE
+                dst_state.waiting = None
+                deliver(dst_state, w, m)
+                ready.append(dst_state.rank_id)
+
+        def inject(state: _RankState, op: Send) -> None:
+            """Charge a send and place its message (if any survives the
+            fault plan) into the destination mailbox."""
+            nonlocal seq_counter, dropped_total
+            me = state.rank_id
+            self._validate_send(me, op)
+            m = self.machine
+            nbytes = op.wire_size()
+            hops = self.topology.hops(me, op.dest)
+            link = faults.link(me, op.dest) if faults is not None else None
+            send_start = state.clock
+            seq = seq_counter
+            seq_counter += 1
+            arrivals: List[float] = []
+
+            if retry is not None:
+                tp = plan_transmissions(faults, retry, me, op.dest, seq)
+                if tp.failed:
+                    raise DeliveryError(
+                        f"rank {me} -> {op.dest} tag {op.tag}: no "
+                        f"acknowledgement after {retry.max_retries} "
+                        f"retransmissions (seed {faults.seed}, seq {seq})"
+                    )
+                frame = nbytes + retry.header_nbytes
+                busy = (len(tp.attempts) * m.send_busy(frame)
+                        + m.recv_busy(retry.ack_nbytes))
+                d = tp.attempts[tp.delivered]
+                arrivals.append(
+                    send_start + tp.delivered * retry.timeout
+                    + m.send_busy(frame) + m.transit(frame, hops) + d.jitter
+                )
+                if tp.retransmissions:
+                    state.stats.count("retry_retransmissions",
+                                      tp.retransmissions)
+                    for a in tp.attempts[1:]:
+                        fault_event(me, "retry",
+                                    send_start + a.index * retry.timeout,
+                                    peer=op.dest, tag=op.tag, nbytes=frame,
+                                    phase=op.phase)
+                if tp.duplicates:
+                    states[op.dest].stats.count("retry_duplicates_suppressed",
+                                                tp.duplicates)
+            else:
+                busy = m.send_busy(nbytes)
+                jitter = 0.0
+                if link is not None and link.jitter > 0.0:
+                    jitter = faults.unit("jitter", me, op.dest, seq) * link.jitter
+                    if jitter > 0.0:
+                        state.stats.count("fault_messages_delayed", 1)
+                if (link is not None and link.drop > 0.0
+                        and faults.unit("drop", me, op.dest, seq) < link.drop):
+                    dropped_total += 1
+                    state.stats.count("fault_messages_dropped", 1)
+                    fault_event(me, "drop", send_start + busy, peer=op.dest,
+                                tag=op.tag, nbytes=nbytes, phase=op.phase)
+                else:
+                    arrivals.append(
+                        send_start + busy + m.transit(nbytes, hops) + jitter)
+                    if (link is not None and link.duplicate > 0.0
+                            and faults.unit("dup", me, op.dest, seq)
+                            < link.duplicate):
+                        dj = (faults.unit("dup-jit", me, op.dest, seq)
+                              * link.jitter if link.jitter > 0.0 else 0.0)
+                        arrivals.append(
+                            send_start + busy + m.transit(nbytes, hops) + dj)
+                        state.stats.count("fault_messages_duplicated", 1)
+                        fault_event(me, "duplicate", send_start + busy,
+                                    peer=op.dest, tag=op.tag, nbytes=nbytes,
+                                    phase=op.phase)
+
+            if trace_events is not None:
+                trace_events.append(TraceEvent(
+                    rank=me, kind="send", start=send_start,
+                    end=send_start + busy, phase=op.phase, peer=op.dest,
+                    tag=op.tag, nbytes=nbytes, label=op.label, seq=seq,
+                ))
+            state.clock = send_start + busy
+            state.stats.charge(op.phase, busy)
+            state.stats.messages_sent += 1
+            state.stats.bytes_sent += nbytes
+            # A dropped message is charged but never enqueued; duplicates
+            # share the original's sequence number.
+            for arrival in arrivals:
+                mailbox[(op.dest, me, op.tag)].append(Message(
+                    source=me, dest=op.dest, tag=op.tag, payload=op.payload,
+                    nbytes=nbytes, arrival=arrival, seq=seq,
+                ))
+            if arrivals:
+                wake_receiver(op.dest, me, op.tag)
+
         def step(state: _RankState) -> None:
-            """Advance one rank until it blocks or finishes."""
-            nonlocal seq_counter, ops_interpreted
+            """Advance one rank until it blocks, finishes, or crashes."""
+            nonlocal ops_interpreted
+            slowdown = faults.slowdown(state.rank_id) if faults is not None else 1.0
+            ct = crash_at.get(state.rank_id)
             while True:
+                if ct is not None and state.clock >= ct:
+                    crash(state, ct)
+                    return
                 try:
                     op = state.gen.send(state.resume_value)
                 except StopIteration as stop:
@@ -209,63 +403,22 @@ class Engine:
                         f"exceeded max_ops={self.max_ops}; runaway rank program?"
                     )
                 if isinstance(op, Compute):
-                    if trace_events is not None and op.seconds > 0:
+                    seconds = op.seconds * slowdown
+                    if trace_events is not None and seconds > 0:
                         trace_events.append(TraceEvent(
                             rank=state.rank_id, kind="compute",
-                            start=state.clock, end=state.clock + op.seconds,
+                            start=state.clock, end=state.clock + seconds,
                             phase=op.phase, label=op.label,
                         ))
-                    state.clock += op.seconds
-                    state.stats.charge(op.phase, op.seconds)
+                    state.clock += seconds
+                    state.stats.charge(op.phase, seconds)
                 elif isinstance(op, Send):
-                    self._validate_peer(op.dest)
-                    nbytes = op.wire_size()
-                    busy = self.machine.send_busy(nbytes)
-                    if trace_events is not None:
-                        trace_events.append(TraceEvent(
-                            rank=state.rank_id, kind="send",
-                            start=state.clock, end=state.clock + busy,
-                            phase=op.phase, peer=op.dest, tag=op.tag,
-                            nbytes=nbytes, label=op.label, seq=seq_counter,
-                        ))
-                    state.clock += busy
-                    state.stats.charge(op.phase, busy)
-                    hops = self.topology.hops(state.rank_id, op.dest) if op.dest != state.rank_id else 0
-                    arrival = state.clock + self.machine.transit(nbytes, hops)
-                    msg = Message(
-                        source=state.rank_id,
-                        dest=op.dest,
-                        tag=op.tag,
-                        payload=op.payload,
-                        nbytes=nbytes,
-                        arrival=arrival,
-                        seq=seq_counter,
-                    )
-                    seq_counter += 1
-                    mailbox[(op.dest, state.rank_id, op.tag)].append(msg)
-                    state.stats.messages_sent += 1
-                    state.stats.bytes_sent += nbytes
-                    # Wake the destination if it is blocked on a match.  A
-                    # wildcard-source receiver is woken too: it re-enters the
-                    # resolution path, which stays conservative because the
-                    # resolution phase only runs when nothing else can.
-                    dst_state = states[op.dest]
-                    if dst_state.status == _BLOCKED:
-                        w = dst_state.waiting
-                        if w is not None and w.source == state.rank_id and (
-                            w.tag == ANY_TAG or w.tag == op.tag
-                        ):
-                            m = try_match(dst_state, w)
-                            if m is not None:
-                                dst_state.status = _RUNNABLE
-                                dst_state.waiting = None
-                                deliver(dst_state, w, m)
-                                ready.append(dst_state.rank_id)
+                    inject(state, op)
                 elif isinstance(op, Recv):
                     if op.source != ANY_SOURCE:
                         self._validate_peer(op.source)
                         msg = try_match(state, op)
-                        if msg is not None:
+                        if msg is not None and can_deliver(state, op, msg):
                             deliver(state, op, msg)
                             continue
                     state.status = _BLOCKED
@@ -285,7 +438,7 @@ class Engine:
                 if state.status != _RUNNABLE:
                     continue
                 step(state)
-            # Resolution phase: everyone is blocked or finished.
+            # Resolution phase: everyone is blocked, finished, or crashed.
             blocked = [s for s in states if s.status == _BLOCKED]
             if not blocked:
                 break
@@ -294,7 +447,7 @@ class Engine:
                 recv = state.waiting
                 assert recv is not None
                 msg = try_match(state, recv)
-                if msg is not None:
+                if msg is not None and can_deliver(state, recv, msg):
                     state.status = _RUNNABLE
                     state.waiting = None
                     deliver(state, recv, msg)
@@ -302,8 +455,68 @@ class Engine:
                     progressed = True
                     break  # re-run the progress phase before matching more
             if not progressed:
+                # No message can complete any blocked receive.  Fire the
+                # earliest pending receive timeout (ties by rank id), one
+                # at a time so the woken rank's sends get first claim.
+                candidates = []
+                for state in blocked:
+                    recv = state.waiting
+                    if recv.timeout is None:
+                        continue
+                    deadline = state.clock + recv.timeout
+                    ct = crash_at.get(state.rank_id)
+                    if ct is not None and ct <= deadline:
+                        continue  # the crash preempts the timeout
+                    candidates.append((deadline, state.rank_id, state))
+                if candidates:
+                    deadline, _, state = min(
+                        candidates, key=lambda c: (c[0], c[1]))
+                    recv = state.waiting
+                    state.stats.charge(recv.phase, deadline - state.clock)
+                    state.stats.count("recv_timeouts", 1)
+                    if trace_events is not None:
+                        trace_events.append(TraceEvent(
+                            rank=state.rank_id, kind="recv_timeout",
+                            start=state.clock, end=deadline, phase=recv.phase,
+                            peer=(recv.source if recv.source != ANY_SOURCE
+                                  else None),
+                            tag=(recv.tag if recv.tag != ANY_TAG else None),
+                            label=recv.label,
+                        ))
+                    state.clock = deadline
+                    state.status = _RUNNABLE
+                    state.waiting = None
+                    state.resume_value = None
+                    ready.append(state.rank_id)
+                    progressed = True
+            if not progressed:
+                # Blocked ranks with a pending crash die now: nothing can
+                # wake them before their crash time.
+                for state in blocked:
+                    ct = crash_at.get(state.rank_id)
+                    if ct is not None:
+                        crash(state, ct)
+                        progressed = True
+            if not progressed:
                 raise DeadlockError(
-                    {s.rank_id: (s.waiting.source, s.waiting.tag) for s in blocked}
+                    {
+                        s.rank_id: BlockedOp(
+                            source=s.waiting.source, tag=s.waiting.tag,
+                            phase=s.waiting.phase, label=s.waiting.label,
+                            clock=s.clock, timeout=s.waiting.timeout,
+                        )
+                        for s in blocked
+                    },
+                    undelivered=[
+                        (msg.source, msg.dest, msg.tag, msg.arrival, msg.nbytes)
+                        for q in mailbox.values() for msg in q
+                    ],
+                    crashed={
+                        s.rank_id: crash_at[s.rank_id]
+                        for s in states
+                        if s.status == _CRASHED and s.rank_id in crash_at
+                    },
+                    dropped=dropped_total,
                 )
 
         # Leftover messages are not an error per se (MPI allows it), but
@@ -336,6 +549,23 @@ class Engine:
                 f"peer rank {peer} outside world of size {self.nranks}"
             )
 
+    def _validate_send(self, sender: int, op: Send) -> None:
+        if not (0 <= op.dest < self.nranks):
+            raise CommunicationError(
+                f"peer rank {op.dest} outside world of size {self.nranks}"
+            )
+        if op.dest == sender:
+            raise CommunicationError(
+                f"rank {sender} cannot send to itself: a self-send can never "
+                f"be received (the rank would have to block on its own "
+                f"message) — handle local data without the engine"
+            )
+        if op.tag < 0:
+            raise CommunicationError(
+                f"message tag must be >= 0, got {op.tag} "
+                f"(rank {sender} -> {op.dest})"
+            )
+
 
 def run_spmd(
     program: RankProgram,
@@ -343,7 +573,8 @@ def run_spmd(
     machine: MachineModel,
     topology: Optional[Topology] = None,
     args: Optional[List[Any]] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> RunResult:
     """One-shot convenience wrapper around :class:`Engine`."""
-    engine = Engine(machine, topology=topology, nranks=nranks)
+    engine = Engine(machine, topology=topology, nranks=nranks, faults=faults)
     return engine.run(program, args=args)

@@ -30,7 +30,10 @@ class TraceEvent:
     """One traced engine event.
 
     kind is one of ``compute``, ``send``, ``recv`` (completion, with the
-    wait included in [start, end]), or ``finish``.
+    wait included in [start, end]), ``recv_timeout`` (a bounded wait that
+    expired; [start, end] is the wait), ``fault`` (zero-duration instant
+    recording a fault-plan action — the label says which: ``drop``,
+    ``duplicate``, ``retry``, or ``crash``), or ``finish``.
 
     ``label`` is the schedule label the op was issued under (the forall
     label for runtime-generated communication, empty otherwise).  For
@@ -80,7 +83,9 @@ _KIND_GLYPH = {
     "send": ">",
     "recv": "<",
     "recv_wait": "-",
+    "recv_timeout": "x",
     "finish": "|",
+    "fault": "!",
 }
 
 
@@ -94,8 +99,10 @@ def render_timeline(
     Each row is a rank; columns are equal slices of virtual time.  The
     glyph shows what dominated the slice: ``#`` compute, ``>`` send,
     ``<`` receive drain, ``-`` recv wait (rank idle, message in flight),
-    ``.`` idle.  A ``|`` marks each rank's finish instant, so ranks that
-    complete long before the makespan stay visible.
+    ``x`` expired receive timeout, ``.`` idle.  A ``|`` marks each rank's
+    finish instant, so ranks that complete long before the makespan stay
+    visible; a ``!`` overlays the instant of each injected fault (drop,
+    duplicate, retransmission, crash).
     """
     if not events:
         return "(no trace events)"
@@ -106,6 +113,7 @@ def render_timeline(
     # For each (rank, column), pick the kind with the most time in it.
     grid = [[{} for _ in range(width)] for _ in range(ranks)]
     finish_col = [None] * ranks
+    fault_cols = [set() for _ in range(ranks)]
     scale = width / t_end
 
     def paint(rank: int, kind: str, start: float, end: float) -> None:
@@ -120,6 +128,9 @@ def render_timeline(
     for e in events:
         if e.kind == "finish":
             finish_col[e.rank] = min(int(e.start * scale), width - 1)
+            continue
+        if e.kind == "fault":
+            fault_cols[e.rank].add(min(int(e.start * scale), width - 1))
             continue
         if e.kind == "recv" and e.busy_start is not None and e.wait_time > 0:
             paint(e.rank, "recv_wait", e.start, e.busy_start)
@@ -137,11 +148,14 @@ def render_timeline(
             else:
                 kind = max(cell, key=cell.get)
                 row.append(_KIND_GLYPH.get(kind, "?"))
+        for c in fault_cols[r]:
+            row[c] = "!"
         if finish_col[r] is not None:
             row[finish_col[r]] = "|"
         lines.append(f"rank {r:3d} |{''.join(row)}|")
     lines.append(
-        "legend: # compute   > send   < recv   - recv wait   | finish   . idle"
+        "legend: # compute   > send   < recv   - recv wait   x recv timeout"
+        "   ! fault   | finish   . idle"
     )
     return "\n".join(lines)
 

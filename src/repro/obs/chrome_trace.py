@@ -29,6 +29,7 @@ _COLOR = {
     "send": "thread_state_iowait",
     "recv_busy": "thread_state_runnable",
     "recv_wait": "thread_state_sleeping",
+    "recv_timeout": "thread_state_uninterruptible",
 }
 
 
@@ -67,6 +68,20 @@ def to_chrome_trace(
                 "ph": "i", "pid": span.rank, "tid": 0, "name": "finish",
                 "ts": span.start * _US, "s": "p", "cat": "finish",
             })
+            continue
+        if span.kind == "fault":
+            # Fault-plan actions are zero-duration instants; the label
+            # carries the action (drop / duplicate / retry / crash).
+            ev = {
+                "ph": "i", "pid": span.rank, "tid": 0,
+                "name": f"fault:{span.label or 'fault'}",
+                "ts": span.start * _US, "s": "p", "cat": "fault",
+                "args": {"kind": "fault", "fault": span.label},
+            }
+            if span.peer is not None:
+                ev["args"].update(peer=span.peer, tag=span.tag,
+                                  nbytes=span.nbytes)
+            out.append(ev)
             continue
         ev = {
             "ph": "X",

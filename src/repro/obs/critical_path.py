@@ -122,7 +122,9 @@ def critical_path(
     nranks: Optional[int] = None,
 ) -> CriticalPath:
     """Recover the critical path from a traced run."""
-    work = [e for e in events if e.kind != "finish"]
+    # Fault instants are zero-duration annotations, not work; including
+    # them would break the contiguous-per-rank walk.
+    work = [e for e in events if e.kind not in ("finish", "fault")]
     makespan = max((e.end for e in events), default=0.0)
     if not work:
         return CriticalPath(steps=[], makespan=makespan)

@@ -22,9 +22,11 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.machine.trace import TraceEvent
 
-# Span kinds, in legend order.  ``recv_wait`` is idle time; the rest is
+# Span kinds, in legend order.  ``recv_wait`` and ``recv_timeout`` are
+# idle time; ``fault`` spans are zero-duration instants; the rest is
 # occupied time.
-SPAN_KINDS = ("compute", "send", "recv_wait", "recv_busy", "finish")
+SPAN_KINDS = ("compute", "send", "recv_wait", "recv_busy", "recv_timeout",
+              "fault", "finish")
 
 
 @dataclass(frozen=True)
@@ -149,9 +151,9 @@ def rank_activity(
     wait = [0.0] * nranks
     finish = [0.0] * nranks
     for s in build_spans(events):
-        if s.kind == "finish":
+        if s.kind in ("finish", "fault"):
             finish[s.rank] = max(finish[s.rank], s.end)
-        elif s.kind == "recv_wait":
+        elif s.kind in ("recv_wait", "recv_timeout"):
             wait[s.rank] += s.duration
         else:
             busy[s.rank] += s.duration

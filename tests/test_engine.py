@@ -159,6 +159,25 @@ class TestMessaging:
         with pytest.raises(CommunicationError):
             run(prog, n=2)
 
+    def test_send_to_self_rejected(self):
+        def prog(rank):
+            yield Send(dest=rank.id, payload=None, tag=1)
+
+        with pytest.raises(CommunicationError, match="itself"):
+            run(prog, n=2)
+
+    def test_negative_tag_rejected_at_construction(self):
+        with pytest.raises(CommunicationError, match="tag"):
+            Send(dest=1, payload=None, tag=-3)
+        with pytest.raises(CommunicationError):
+            Send(dest=-2, payload=None)
+        with pytest.raises(CommunicationError):
+            Send(dest=1, payload=None, nbytes=-1)
+        with pytest.raises(CommunicationError):
+            Recv(source=-7, tag=1)
+        with pytest.raises(CommunicationError):
+            Recv(source=0, tag=-9)
+
     def test_numpy_payload_isolated_per_message(self):
         """Payload references are delivered as-is: the sender sends a copy."""
 
@@ -279,6 +298,39 @@ class TestDeadlock:
 
         with pytest.raises(DeadlockError):
             run(prog, n=2)
+
+    def test_diagnostics_name_every_blocked_rank(self):
+        """The error reports, per blocked rank: peer, tag, phase, virtual
+        time — plus the undelivered messages left in the mailboxes."""
+
+        def prog(rank):
+            if rank.id == 0:
+                yield Send(dest=1, payload=b"xyz", tag=1, phase="exchange")
+                yield Recv(source=1, tag=7, phase="exchange", label="edge")
+            else:
+                yield Compute(0.5, phase="work")
+                yield Recv(source=0, tag=9, phase="collect")
+
+        with pytest.raises(DeadlockError) as excinfo:
+            run(prog, n=2)
+        exc = excinfo.value
+        assert set(exc.blocked) == {0, 1}
+        assert exc.blocked[0].source == 1 and exc.blocked[0].tag == 7
+        assert exc.blocked[0].phase == "exchange"
+        assert exc.blocked[0].label == "edge"
+        assert exc.blocked[1].source == 0 and exc.blocked[1].tag == 9
+        assert exc.blocked[1].phase == "collect"
+        assert exc.blocked[1].clock == pytest.approx(0.5)
+        assert exc.undelivered == [(0, 1, 1, pytest.approx(0.0), 3)]
+        msg = str(exc)
+        assert "rank 0 waiting on (src=1, tag=7) in exchange:edge" in msg
+        assert "rank 1 waiting on (src=0, tag=9) in collect" in msg
+        assert "undelivered messages (1):" in msg
+
+    def test_legacy_tuple_form_still_formats(self):
+        e = DeadlockError({2: (0, 5)})
+        assert e.blocked == {2: (0, 5)}
+        assert "rank 2 waiting on (src=0, tag=5)" in str(e)
 
 
 class TestStats:

@@ -1,0 +1,419 @@
+"""Tests for ``repro.faults``: plans, the faulted engine, retry, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps.jacobi import build_jacobi
+from repro.comm.reliable import plan_transmissions
+from repro.errors import (
+    CommunicationError,
+    DeadlockError,
+    DeliveryError,
+    FaultError,
+)
+from repro.faults import PLAN_FORMAT, FaultPlan, LinkFaults, RetryPolicy
+from repro.faults.__main__ import main as faults_main
+from repro.machine.api import Compute, Recv, Send
+from repro.machine.cost import IDEAL, NCUBE7
+from repro.machine.engine import Engine, run_spmd
+from repro.meshes.regular import five_point_grid
+from repro.obs.registry import run_to_dict
+
+
+MESH = five_point_grid(16, 16)
+
+
+def jacobi_run(faults=None, procs=8, sweeps=3, trace=False):
+    prog = build_jacobi(MESH, procs, faults=faults, trace=trace)
+    res = prog.run(sweeps)
+    return res, prog.solution
+
+
+class TestFaultPlan:
+    def test_roundtrip_json(self, tmp_path):
+        plan = FaultPlan(
+            seed=11,
+            default_link=LinkFaults(drop=0.1, duplicate=0.05, jitter=1e-4),
+            links={(0, 1): LinkFaults(drop=0.5)},
+            stragglers={2: 3.0},
+            crashes={5: 1.25},
+            retry=RetryPolicy(timeout=0.02, max_retries=4),
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        loaded = FaultPlan.from_json(str(path))
+        assert loaded == plan
+        assert loaded.to_dict()["format"] == PLAN_FORMAT
+
+    def test_validation(self):
+        with pytest.raises(FaultError):
+            LinkFaults(drop=1.5)
+        with pytest.raises(FaultError):
+            LinkFaults(jitter=-1.0)
+        with pytest.raises(FaultError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(FaultError):
+            FaultPlan(stragglers={0: 0.5})
+        with pytest.raises(FaultError):
+            FaultPlan(crashes={0: -1.0})
+        with pytest.raises(FaultError):
+            FaultPlan.from_dict({"format": "bogus"})
+
+    def test_unit_is_pure_and_seed_sensitive(self):
+        a = FaultPlan(seed=1)
+        assert a.unit("drop", 0, 1, 7) == a.unit("drop", 0, 1, 7)
+        assert a.unit("drop", 0, 1, 7) != a.unit("drop", 0, 1, 8)
+        assert a.unit("drop", 0, 1, 7) != a.unit("dup", 0, 1, 7)
+        b = FaultPlan(seed=2)
+        assert a.unit("drop", 0, 1, 7) != b.unit("drop", 0, 1, 7)
+        assert 0.0 <= a.unit("drop", 3, 4, 5) < 1.0
+
+    def test_link_override_and_queries(self):
+        plan = FaultPlan(
+            default_link=LinkFaults(drop=0.1),
+            links={(0, 1): LinkFaults(drop=0.9)},
+            stragglers={3: 2.0},
+            crashes={4: 0.5},
+        )
+        assert plan.link(0, 1).drop == 0.9
+        assert plan.link(1, 0).drop == 0.1
+        assert plan.slowdown(3) == 2.0 and plan.slowdown(0) == 1.0
+        assert plan.crash_time(4) == 0.5 and plan.crash_time(0) is None
+        assert plan.has_link_faults
+        assert not FaultPlan().has_link_faults
+
+
+class TestDeterminism:
+    def test_same_plan_same_run_bytes(self):
+        plan = lambda: FaultPlan.uniform(  # noqa: E731
+            seed=7, drop=0.05, duplicate=0.02, jitter=1e-4,
+            retry=RetryPolicy())
+        r1, s1 = jacobi_run(plan())
+        r2, s2 = jacobi_run(plan())
+        assert r1.engine.clocks == r2.engine.clocks
+        assert np.array_equal(s1, s2)
+        d1 = json.dumps(run_to_dict(r1.engine), sort_keys=True)
+        d2 = json.dumps(run_to_dict(r2.engine), sort_keys=True)
+        assert d1 == d2  # byte-identical stats, counters, clocks
+
+    def test_clean_plan_matches_no_plan(self):
+        r0, s0 = jacobi_run(None)
+        r1, s1 = jacobi_run(FaultPlan(seed=99))
+        assert r0.engine.clocks == r1.engine.clocks
+        assert np.array_equal(s0, s1)
+
+    def test_different_seeds_differ(self):
+        r1, _ = jacobi_run(FaultPlan.uniform(seed=1, drop=0.05,
+                                             retry=RetryPolicy()))
+        r2, _ = jacobi_run(FaultPlan.uniform(seed=2, drop=0.05,
+                                             retry=RetryPolicy()))
+        assert r1.engine.clocks != r2.engine.clocks
+
+
+class TestRetryTransport:
+    def test_jacobi_survives_drops_with_same_answer(self):
+        r0, clean = jacobi_run(None)
+        plan = FaultPlan.uniform(seed=7, drop=0.05, retry=RetryPolicy())
+        res, faulted = jacobi_run(plan)
+        assert np.array_equal(clean, faulted)
+        assert res.makespan > r0.makespan  # retries cost virtual time
+        assert res.engine.counter_sum("retry_retransmissions") > 0
+
+    def test_duplicates_are_suppressed_not_delivered(self):
+        plan = FaultPlan.uniform(seed=7, drop=0.05, retry=RetryPolicy())
+        res, _ = jacobi_run(plan)
+        # Every suppressed duplicate was counted; none reached a mailbox
+        # unconsumed (the executor would have deadlocked or miscounted).
+        assert res.engine.counter_sum("retry_duplicates_suppressed") > 0
+        assert res.engine.counter_sum("undelivered_messages") == 0
+
+    def test_budget_exhaustion_raises_delivery_error(self):
+        plan = FaultPlan.uniform(seed=0, drop=0.95,
+                                 retry=RetryPolicy(max_retries=1))
+
+        def prog(rank):
+            if rank.id == 0:
+                yield Send(dest=1, payload=b"x" * 8, tag=1)
+            else:
+                yield Recv(source=0, tag=1)
+
+        with pytest.raises(DeliveryError, match="retransmissions"):
+            run_spmd(prog, 2, IDEAL, faults=plan)
+
+    def test_plan_transmissions_is_pure(self):
+        plan = FaultPlan.uniform(seed=3, drop=0.4, jitter=1e-3)
+        pol = RetryPolicy(max_retries=6)
+        a = plan_transmissions(plan, pol, 0, 1, 42)
+        b = plan_transmissions(plan, pol, 0, 1, 42)
+        assert a == b
+        assert a.attempts[0].index == 0
+        if not a.failed:
+            assert a.attempts[-1].ack_ok
+
+    def test_retry_on_clean_link_single_attempt(self):
+        plan = FaultPlan.uniform(seed=0, retry=RetryPolicy())
+        tp = plan_transmissions(plan, plan.retry, 0, 1, 0)
+        assert len(tp.attempts) == 1 and tp.delivered == 0
+        assert tp.retransmissions == 0 and tp.duplicates == 0
+
+
+class TestDropWithoutRetry:
+    def test_deadlock_names_blocked_ranks_with_context(self):
+        plan = FaultPlan.uniform(seed=7, drop=0.2)
+        with pytest.raises(DeadlockError) as excinfo:
+            jacobi_run(plan)
+        exc = excinfo.value
+        assert exc.blocked  # at least one blocked rank reported
+        msg = str(exc)
+        for rank_id, info in exc.blocked.items():
+            assert f"rank {rank_id} waiting on" in msg
+            assert info.source >= -1 and info.tag >= -1
+            assert info.phase  # runtime ops always carry a phase
+            assert f"in {info.phase}" in msg
+        assert exc.dropped > 0
+        assert "dropped by the fault plan" in msg
+
+    def test_drop_counters_and_trace_events(self):
+        plan = FaultPlan.uniform(seed=7, drop=0.2)
+        engine = Engine(IDEAL, nranks=2, trace=True, faults=plan)
+
+        def prog(rank):
+            if rank.id == 0:
+                for i in range(40):
+                    yield Send(dest=1, payload=b"x", tag=i)
+            else:
+                for i in range(40):
+                    yield Recv(source=0, tag=i, timeout=1.0)
+
+        res = engine.run(prog)
+        dropped = res.stats[0].counters.get("fault_messages_dropped", 0)
+        assert dropped > 0
+        fault_events = [e for e in res.trace if e.kind == "fault"]
+        assert len([e for e in fault_events if e.label == "drop"]) == dropped
+        # dropped sends are still charged and counted as sent
+        assert res.stats[0].messages_sent == 40
+
+
+class TestJitterAndDuplication:
+    def test_duplicate_messages_share_seq(self):
+        # seed 2's draw for (dup, 0->1, seq 0) is ~0.53 < 0.9: it fires.
+        plan = FaultPlan.uniform(seed=2, duplicate=0.9)
+
+        def prog(rank):
+            if rank.id == 0:
+                yield Send(dest=1, payload=b"d", tag=5)
+            else:
+                m = yield Recv(source=0, tag=5)
+                return m.seq
+
+        res = run_spmd(prog, 2, IDEAL, faults=plan)
+        assert res.stats[0].counters.get("fault_messages_duplicated", 0) == 1
+        # one copy consumed, one left over
+        assert res.stats[1].counters.get("undelivered_messages", 0) == 1
+
+    def test_jitter_delays_arrival_deterministically(self):
+        def prog(rank):
+            if rank.id == 0:
+                yield Send(dest=1, payload=b"j", tag=1)
+            else:
+                m = yield Recv(source=0, tag=1)
+                return m.arrival
+
+        clean = run_spmd(prog, 2, NCUBE7)
+        plan = FaultPlan.uniform(seed=5, jitter=0.01)
+        jit1 = run_spmd(prog, 2, NCUBE7, faults=plan)
+        jit2 = run_spmd(prog, 2, NCUBE7, faults=plan)
+        assert jit1.values[1] > clean.values[1]
+        assert jit1.values[1] == jit2.values[1]
+        assert jit1.values[1] - clean.values[1] < 0.01
+
+
+class TestStragglers:
+    def test_straggler_slows_whole_run(self):
+        r0, s0 = jacobi_run(None)
+        plan = FaultPlan.uniform(seed=0, stragglers={3: 4.0})
+        r1, s1 = jacobi_run(plan)
+        assert r1.makespan > r0.makespan * 1.5
+        assert np.array_equal(s0, s1)  # timing-only fault
+
+    def test_only_the_straggler_computes_slower(self):
+        plan = FaultPlan.uniform(seed=0, stragglers={1: 3.0})
+
+        def prog(rank):
+            yield Compute(1.0, phase="work")
+
+        res = run_spmd(prog, 2, IDEAL, faults=plan)
+        assert res.clocks == [1.0, 3.0]
+
+
+class TestCrashes:
+    def test_crash_surfaces_in_deadlock_diagnostics(self):
+        plan = FaultPlan.uniform(seed=0, crashes={1: 0.5})
+
+        def prog(rank):
+            if rank.id == 0:
+                m = yield Recv(source=1, tag=1)
+                return m.payload
+            else:
+                yield Compute(1.0, phase="work")  # crashes mid-compute
+                yield Send(dest=0, payload=b"never", tag=1)
+
+        with pytest.raises(DeadlockError) as excinfo:
+            run_spmd(prog, 2, IDEAL, faults=plan)
+        exc = excinfo.value
+        assert exc.crashed == {1: 0.5}
+        assert 0 in exc.blocked
+        assert "crashed ranks" in str(exc)
+
+    def test_crash_before_start_runs_nothing(self):
+        plan = FaultPlan.uniform(seed=0, crashes={0: 0.0})
+        ran = []
+
+        def prog(rank):
+            ran.append(rank.id)
+            yield Compute(1.0)
+
+        res = Engine(IDEAL, nranks=1, faults=plan).run(prog)
+        assert res.stats[0].counters.get("fault_crashes") == 1
+        assert res.clocks == [0.0]
+
+
+class TestRecvTimeout:
+    def test_timeout_resumes_with_none(self):
+        def prog(rank):
+            if rank.id == 0:
+                m = yield Recv(source=1, tag=1, timeout=0.25, phase="wait")
+                return m
+            else:
+                yield Compute(0.01)
+
+        res = run_spmd(prog, 2, NCUBE7)
+        assert res.values[0] is None
+        assert res.clocks[0] == pytest.approx(0.25)
+        assert res.stats[0].counters.get("recv_timeouts") == 1
+
+    def test_late_message_caught_by_later_recv(self):
+        def prog(rank):
+            if rank.id == 0:
+                first = yield Recv(source=1, tag=1, timeout=0.001)
+                second = yield Recv(source=1, tag=1)
+                return (first, second.payload)
+            else:
+                yield Compute(0.5)
+                yield Send(dest=0, payload="late", tag=1)
+
+        res = run_spmd(prog, 2, NCUBE7)
+        assert res.values[0] == (None, "late")
+
+    def test_message_within_deadline_delivered(self):
+        def prog(rank):
+            if rank.id == 0:
+                m = yield Recv(source=1, tag=1, timeout=10.0)
+                return m.payload
+            else:
+                yield Compute(0.1)
+                yield Send(dest=0, payload="ok", tag=1)
+
+        res = run_spmd(prog, 2, NCUBE7)
+        assert res.values[0] == "ok"
+
+    def test_timeout_validation(self):
+        with pytest.raises(CommunicationError):
+            Recv(source=0, tag=1, timeout=0.0)
+
+
+class TestFaultsCli:
+    def test_replay_check_writes_run_file(self, tmp_path, capsys):
+        out = tmp_path / "faulted.json"
+        rc = faults_main([
+            "replay", "--app", "jacobi", "--procs", "4", "--rows", "12",
+            "--cols", "12", "--sweeps", "2", "--drop", "0.05", "--retry",
+            "--seed", "7", "--check", "-o", str(out),
+        ])
+        assert rc == 0
+        txt = capsys.readouterr().out
+        assert "check OK" in txt and "fault overhead" in txt
+        doc = json.loads(out.read_text())
+        assert doc["meta"]["fault_plan"].startswith("seed=7")
+
+    def test_template_then_replay(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        assert faults_main(["template", "-o", str(plan_path)]) == 0
+        loaded = FaultPlan.from_json(str(plan_path))
+        assert loaded.retry is not None
+        rc = faults_main([
+            "replay", "--plan", str(plan_path), "--app", "jacobi",
+            "--procs", "4", "--rows", "12", "--cols", "12",
+            "--sweeps", "2", "--check",
+        ])
+        assert rc == 0
+        assert "check OK" in capsys.readouterr().out
+
+    def test_replay_without_retry_reports_deadlock(self, capsys):
+        rc = faults_main([
+            "replay", "--app", "jacobi", "--procs", "4", "--rows", "12",
+            "--cols", "12", "--sweeps", "2", "--drop", "0.3", "--seed", "7",
+        ])
+        assert rc == 1
+        assert "deadlocked" in capsys.readouterr().out
+
+    def test_bad_plan_is_cli_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        rc = faults_main(["replay", "--plan", str(bad)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestObsIntegration:
+    def test_fault_events_exported_as_perfetto_instants(self):
+        from repro.obs.chrome_trace import to_chrome_trace, validate_chrome_trace
+
+        plan = FaultPlan.uniform(seed=7, drop=0.05, retry=RetryPolicy())
+        res, _ = jacobi_run(plan, trace=True)
+        doc = to_chrome_trace(res.trace, nranks=8)
+        assert validate_chrome_trace(doc) == []
+        instants = [e for e in doc["traceEvents"]
+                    if e.get("cat") == "fault"]
+        assert instants and all(e["ph"] == "i" for e in instants)
+        assert any(e["name"] == "fault:retry" for e in instants)
+
+    def test_fault_counters_reach_metrics_registry(self):
+        from repro.obs.registry import MetricsRegistry
+
+        plan = FaultPlan.uniform(seed=7, drop=0.05, retry=RetryPolicy())
+        res, _ = jacobi_run(plan)
+        reg = MetricsRegistry.from_run(res.engine)
+        assert reg.get("counter_sum.retry_retransmissions") > 0
+
+    def test_timeline_marks_faults(self):
+        from repro.machine.trace import render_timeline
+
+        plan = FaultPlan.uniform(seed=7, drop=0.2)
+        engine = Engine(IDEAL, nranks=2, trace=True, faults=plan)
+
+        def prog(rank):
+            if rank.id == 0:
+                for i in range(20):
+                    yield Compute(0.1)
+                    yield Send(dest=1, payload=b"x", tag=i)
+            else:
+                for i in range(20):
+                    yield Recv(source=0, tag=i, timeout=50.0)
+
+        res = engine.run(prog)
+        art = render_timeline(res.trace, nranks=2)
+        assert "!" in art and "! fault" in art
+
+    def test_critical_path_ignores_fault_instants(self):
+        from repro.obs.critical_path import critical_path
+
+        plan = FaultPlan.uniform(seed=7, drop=0.05, retry=RetryPolicy())
+        res, _ = jacobi_run(plan, trace=True)
+        cp = critical_path(res.trace, nranks=8)
+        assert cp.length > 0
+        assert all(s.kind != "fault" for s in cp.steps)

@@ -94,6 +94,8 @@ class CGSolver:
         dist: Optional[DimDistribution] = None,
         faults=None,
         trace: bool = False,
+        backend: str = "sim",
+        mp_timeout: float = 120.0,
     ):
         self.mesh = mesh
         n = mesh.n
@@ -101,7 +103,8 @@ class CGSolver:
         width = cols.shape[1]
         dist = dist if dist is not None else Block()
 
-        ctx = KaliContext(nprocs, machine=machine, faults=faults, trace=trace)
+        ctx = KaliContext(nprocs, machine=machine, faults=faults, trace=trace,
+                          backend=backend, mp_timeout=mp_timeout)
         self.ctx = ctx
         for name in ("x", "r", "p", "q", "b"):
             ctx.array(name, n, dist=[dist._clone()])
@@ -210,7 +213,6 @@ class CGSolver:
         self.ctx.arrays["p"].set(np.asarray(b, dtype=np.float64))  # p0 = r0
         self.ctx.arrays["q"].set(np.zeros(n))
 
-        outcome = {}
         solver = self
 
         def program(kr: KaliRank) -> Generator:
@@ -230,11 +232,12 @@ class CGSolver:
                 iterations += 1
                 if rr > tol * tol:
                     yield from kr.forall(update_p)          # p = r + beta p
-            if kr.id == 0:
-                outcome["iterations"] = iterations
-                outcome["rr"] = rr
+            # Returned (not mutated into a closure) so the result crosses
+            # the process boundary on backend="mp".
+            return {"iterations": iterations, "rr": rr}
 
         timing = self.ctx.run(program)
+        outcome = timing.values[0]
         return CGResult(
             solution=self.ctx.arrays["x"].data.copy(),
             iterations=outcome["iterations"],

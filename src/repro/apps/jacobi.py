@@ -110,6 +110,8 @@ def build_jacobi(
     translation: str = "ranges",
     trace: bool = False,
     faults=None,
+    backend: str = "sim",
+    mp_timeout: float = 120.0,
 ) -> JacobiProgram:
     """Declare the Figure 4 arrays and foralls on a fresh context.
 
@@ -127,6 +129,8 @@ def build_jacobi(
         translation=translation,
         trace=trace,
         faults=faults,
+        backend=backend,
+        mp_timeout=mp_timeout,
     )
     n, width = mesh.n, mesh.width
 

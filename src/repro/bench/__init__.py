@@ -13,6 +13,7 @@ from repro.bench.experiments import (
     distribution_ablation,
     drop_rate_experiment,
     handcoded_ablation,
+    mp_wallclock,
     processor_scaling,
     single_sweep_overhead,
     size_scaling,
@@ -37,6 +38,7 @@ __all__ = [
     "caching_ablation",
     "translation_ablation",
     "handcoded_ablation",
+    "mp_wallclock",
     "distribution_ablation",
     "drop_rate_experiment",
     "straggler_experiment",

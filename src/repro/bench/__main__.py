@@ -6,6 +6,11 @@ sweeps instead of extrapolating from 3; ``--metrics-dir DIR`` writes a
 structured ``<experiment>.metrics.json`` next to each rendered table so
 downstream tooling (regression tracking, ``repro.obs`` dashboards) can
 consume the numbers without re-parsing ASCII.
+
+``--backend mp`` switches to the real-parallelism suite: the Jacobi
+workload on actual OS processes, each run cross-checked bit-for-bit
+against the simulator and its wall-clock ``repro-run-v1`` run file plus
+flattened metrics written into ``--metrics-dir``.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from repro.bench import (
     distribution_ablation,
     drop_rate_experiment,
     handcoded_ablation,
+    mp_wallclock,
     processor_scaling,
     single_sweep_overhead,
     size_scaling,
@@ -50,6 +56,56 @@ def _rows_to_jsonable(rows):
     return out
 
 
+def _main_mp(args) -> int:
+    """The ``--backend mp`` suite: real processes, wall-clock run files."""
+    from repro.obs.registry import MetricsRegistry, write_run_json
+
+    t0 = time.time()
+    proc_counts = [2, 4] if args.fast else [2, 4, 8]
+    mesh_side = 16 if args.fast else 32
+    rows, runs = mp_wallclock(NCUBE7, proc_counts, mesh_side=mesh_side)
+
+    print(ablation_table(
+        f"M1  real OS processes (repro.machine.mp), {mesh_side}x{mesh_side} "
+        "mesh, 5 sweeps — wall seconds, differential-checked vs sim",
+        rows,
+        ["wall_makespan", "wall_executor", "wall_inspector", "messages",
+         "identical"],
+        key_header="procs",
+    ))
+    print()
+
+    if any(r.values["identical"] != 1.0 for r in rows):
+        print("[FAIL: an mp run diverged from the simulator]")
+        return 1
+
+    metrics_dir = pathlib.Path(args.metrics_dir or "bench-mp-out")
+    metrics_dir.mkdir(parents=True, exist_ok=True)
+    for p, engine_result in runs.items():
+        run_path = metrics_dir / f"M1_mp_jacobi_p{p}.run.json"
+        write_run_json(engine_result, str(run_path), meta={
+            "backend": "mp",
+            "workload": "jacobi",
+            "machine": NCUBE7.name,
+            "mesh_side": mesh_side,
+            "nprocs": p,
+        })
+        reg = MetricsRegistry.from_run(engine_result)
+        metrics_path = metrics_dir / f"M1_mp_jacobi_p{p}.metrics.json"
+        metrics_path.write_text(reg.to_json(indent=2) + "\n")
+        print(f"[run file written to {run_path}]")
+    doc = {
+        "experiment": "M1_mp_jacobi",
+        "fast": args.fast,
+        "rows": _rows_to_jsonable(rows),
+    }
+    (metrics_dir / "M1_mp_jacobi.metrics.json").write_text(
+        json.dumps(doc, indent=2) + "\n"
+    )
+    print(f"\n[mp suite done in {time.time() - t0:.1f}s wall]")
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fast", action="store_true", help="small meshes only")
@@ -57,7 +113,13 @@ def main(argv=None) -> int:
                     help="run all 100 sweeps (no extrapolation)")
     ap.add_argument("--metrics-dir", default=None, metavar="DIR",
                     help="also write <experiment>.metrics.json files here")
+    ap.add_argument("--backend", choices=("sim", "mp"), default="sim",
+                    help="sim: virtual-time tables (default); mp: real "
+                         "OS processes with wall-clock run files")
     args = ap.parse_args(argv)
+
+    if args.backend == "mp":
+        return _main_mp(args)
 
     measured = cal.PAPER_SWEEPS if args.full else None
     sides = [64, 128, 256] if args.fast else cal.MESH_SIDES

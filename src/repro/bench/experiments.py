@@ -256,6 +256,62 @@ def distribution_ablation(
     return rows
 
 
+# --- real-parallelism experiments (repro.machine.mp) ----------------------
+
+
+def mp_wallclock(
+    machine: MachineModel,
+    proc_counts: List[int],
+    mesh_side: int = 32,
+    sweeps: int = 5,
+    mp_timeout: float = 120.0,
+):
+    """M1: the same Jacobi workload on real OS processes.
+
+    Each row reports wall-clock timings of the mp run (makespan, max
+    executor/inspector phase seconds) next to a sim differential check:
+    ``identical`` is 1.0 only when the solution is bit-identical to the
+    simulator's and every rank's message count matches.
+
+    Returns ``(rows, runs)`` where ``runs`` maps processor count to the
+    mp backend's raw :class:`RunResult` (wall-clock ``repro-run-v1``
+    material for the metrics registry).
+    """
+    import numpy as np
+
+    mesh = five_point_grid(mesh_side, mesh_side)
+    initial = np.random.default_rng(20260806).random(mesh.n)
+
+    rows, runs = [], {}
+    for p in proc_counts:
+        sim_prog = build_jacobi(mesh, p, machine=machine,
+                                initial=initial.copy())
+        sim_res = sim_prog.run(sweeps=sweeps)
+        mp_prog = build_jacobi(mesh, p, machine=machine,
+                               initial=initial.copy(), backend="mp",
+                               mp_timeout=mp_timeout)
+        mp_res = mp_prog.run(sweeps=sweeps)
+
+        identical = np.array_equal(sim_prog.solution, mp_prog.solution)
+        msgs_match = all(
+            a.messages_sent == b.messages_sent
+            and a.bytes_sent == b.bytes_sent
+            for a, b in zip(sim_res.engine.stats, mp_res.engine.stats)
+        )
+        rows.append(AblationRow(
+            key=p,
+            values={
+                "wall_makespan": mp_res.engine.makespan,
+                "wall_executor": mp_res.executor_time,
+                "wall_inspector": mp_res.inspector_time,
+                "messages": float(mp_res.engine.total_messages()),
+                "identical": float(identical and msgs_match),
+            },
+        ))
+        runs[p] = mp_res.engine
+    return rows, runs
+
+
 # --- robustness experiments (repro.faults) -------------------------------
 
 

@@ -22,6 +22,7 @@ dispatcher that picks compile-time or run-time analysis per forall
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
 
 import numpy as np
@@ -179,17 +180,58 @@ class KaliRank:
         return t
 
 
+@dataclass
+class _RankOutcome:
+    """Everything the driver needs back from one rank, as plain data.
+
+    On the simulator the driver could read the :class:`KaliRank` objects
+    directly (same process); on the mp backend they live in child
+    processes, so each rank *returns* this record and the engine ships it
+    home.  Both backends go through it, keeping the driver path identical.
+    """
+
+    value: Any
+    env: Dict[str, LocalArray]
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
+    strategies_used: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, kr: "KaliRank", value: Any) -> "_RankOutcome":
+        return cls(
+            value=value,
+            env=kr.env,
+            cache_hits=kr.cache.hits,
+            cache_misses=kr.cache.misses,
+            cache_invalidations=kr.cache.invalidations,
+            strategies_used=dict(kr.strategies_used),
+        )
+
+
 class KaliRunResult:
     """Run outcome: engine statistics plus Kali-level accounting.
 
     ``inspector_time`` / ``executor_time`` follow the paper's reporting:
     the parallel (max-over-ranks) virtual time of each phase, with
     ``total_time`` their sum plus any other phases the program charged.
+    On ``backend="mp"`` the phase figures are wall-clock seconds of the
+    real run and ``kranks`` is empty (the rank runtimes lived in other
+    processes); everything else reads identically on both backends.
     """
 
-    def __init__(self, engine_result: RunResult, kranks: List[KaliRank]):
+    def __init__(self, engine_result: RunResult, kranks: List[KaliRank],
+                 outcomes: Optional[List[_RankOutcome]] = None):
         self.engine = engine_result
         self.kranks = kranks
+        if outcomes is None:
+            outcomes = list(engine_result.values)
+        self.outcomes = outcomes
+
+    @property
+    def values(self) -> List[Any]:
+        """Per-rank return values of the Kali program."""
+        return [o.value for o in self.outcomes]
 
     @property
     def inspector_time(self) -> float:
@@ -220,13 +262,13 @@ class KaliRunResult:
 
     def cache_stats(self) -> Dict[str, int]:
         return {
-            "hits": sum(k.cache.hits for k in self.kranks),
-            "misses": sum(k.cache.misses for k in self.kranks),
-            "invalidations": sum(k.cache.invalidations for k in self.kranks),
+            "hits": sum(o.cache_hits for o in self.outcomes),
+            "misses": sum(o.cache_misses for o in self.outcomes),
+            "invalidations": sum(o.cache_invalidations for o in self.outcomes),
         }
 
     def strategies(self) -> Dict[str, str]:
-        return dict(self.kranks[0].strategies_used) if self.kranks else {}
+        return dict(self.outcomes[0].strategies_used) if self.outcomes else {}
 
     def summary(self) -> str:
         lines = [
@@ -253,12 +295,25 @@ class KaliContext:
         combine_messages: bool = True,
         trace: bool = False,
         faults=None,
+        backend: str = "sim",
+        mp_timeout: float = 120.0,
     ):
         self.procs = procs or ProcessorArray(nprocs)
         if self.procs.size != nprocs:
             raise KaliError(
                 f"processor array of {self.procs.size} != nprocs {nprocs}"
             )
+        if backend not in ("sim", "mp"):
+            raise KaliError(
+                f"unknown backend {backend!r} (expected 'sim' or 'mp')"
+            )
+        if backend == "mp" and faults is not None:
+            raise KaliError(
+                "fault plans need the deterministic virtual-time engine; "
+                "backend='mp' cannot replay them — use backend='sim'"
+            )
+        self.backend = backend
+        self.mp_timeout = mp_timeout
         self.machine = machine
         if topology is None:
             topology = (
@@ -296,23 +351,32 @@ class KaliContext:
 
         The program is a generator function over a :class:`KaliRank`; its
         foralls and collectives advance virtual time on the simulated
-        machine.  Distributed array contents are scattered before the run
-        and gathered back afterwards, so driver-side code sees the updated
-        global arrays.
+        machine — or real wall time when the context was built with
+        ``backend="mp"``, which runs each rank on its own OS process.
+        Distributed array contents are scattered before the run and
+        gathered back afterwards, so driver-side code sees the updated
+        global arrays on either backend.
         """
         kranks: List[Optional[KaliRank]] = [None] * self.procs.size
+        cache_enabled = self.cache_enabled
+        force_strategy = self.force_strategy
+        translation = self.translation
+        combine_messages = self.combine_messages
+        arrays = self.arrays
+        sim = self.backend == "sim"
 
         def rank_main(rank: Rank):
-            env = {name: darr.scatter(rank.id) for name, darr in self.arrays.items()}
+            env = {name: darr.scatter(rank.id) for name, darr in arrays.items()}
             kr = KaliRank(
                 rank,
                 env,
-                cache_enabled=self.cache_enabled,
-                force_strategy=self.force_strategy,
-                translation=self.translation,
-                combine_messages=self.combine_messages,
+                cache_enabled=cache_enabled,
+                force_strategy=force_strategy,
+                translation=translation,
+                combine_messages=combine_messages,
             )
-            kranks[rank.id] = kr
+            if sim:
+                kranks[rank.id] = kr
             gen = program(kr)
             if gen is None or not hasattr(gen, "send"):
                 raise KaliError(
@@ -320,15 +384,25 @@ class KaliContext:
                     "from kr.forall(...)')"
                 )
             result = yield from gen
-            return result
+            # The outcome is the rank's return value: plain data that
+            # crosses the process boundary on the mp backend.
+            return _RankOutcome.of(kr, result)
 
-        engine = Engine(self.machine, topology=self.topology,
-                        nranks=self.procs.size, trace=self.trace,
-                        faults=self.faults)
+        if sim:
+            engine = Engine(self.machine, topology=self.topology,
+                            nranks=self.procs.size, trace=self.trace,
+                            faults=self.faults)
+        else:
+            from repro.machine.mp import MpEngine
+
+            engine = MpEngine(self.machine, topology=self.topology,
+                              nranks=self.procs.size, trace=self.trace,
+                              timeout=self.mp_timeout)
         engine_result = engine.run(rank_main)
+        outcomes: List[_RankOutcome] = list(engine_result.values)
 
         # Gather per-rank pieces back into the driver-side global arrays.
         for name, darr in self.arrays.items():
-            darr.gather_from([kr.env[name] for kr in kranks])
+            darr.gather_from([o.env[name] for o in outcomes])
 
-        return KaliRunResult(engine_result, kranks)  # type: ignore[arg-type]
+        return KaliRunResult(engine_result, kranks, outcomes)  # type: ignore[arg-type]

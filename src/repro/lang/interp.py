@@ -120,6 +120,7 @@ class CompiledKali:
         consts: Optional[Dict[str, object]] = None,
         cache_enabled: bool = True,
         translation: str = "ranges",
+        backend: str = "sim",
     ) -> KaliLangResult:
         consts = dict(consts or {})
         inputs = dict(inputs or {})
@@ -164,6 +165,7 @@ class CompiledKali:
             machine=machine,
             cache_enabled=cache_enabled,
             translation=translation,
+            backend=backend,
         )
         array_infos: Dict[str, ArrayInfo] = {}
         for decl in self.program.decls:
@@ -202,16 +204,18 @@ class CompiledKali:
                 raise KaliRuntimeError(f"input {name!r} is not a declared array")
             ctx.arrays[name].set(np.asarray(values))
 
-        # 5. Run the interpreter SPMD.
+        # 5. Run the interpreter SPMD.  Rank 0's program value carries the
+        # final scalars and print output home — returned, not mutated, so
+        # it crosses the process boundary on backend="mp" too.
         interp = _Interpreter(self, ctx, array_infos, consts)
         timing = ctx.run(interp.rank_program)
 
-        scalars = interp.final_scalars if interp.final_scalars is not None else {}
+        scalars, output = timing.values[0] or ({}, [])
         return KaliLangResult(
             arrays={name: arr.data.copy() for name, arr in ctx.arrays.items()},
             scalars=scalars,
             timing=timing,
-            output=interp.output,
+            output=output,
         )
 
 
@@ -225,8 +229,8 @@ class _Interpreter:
         self.ctx = ctx
         self.arrays = arrays
         self.consts = consts
+        #: print() lines from rank 0, returned as part of its rank value
         self.output: List[str] = []
-        self.final_scalars: Optional[Dict[str, object]] = None
 
     # --- rank program --------------------------------------------------------
 
@@ -245,9 +249,11 @@ class _Interpreter:
             self.compiled.program.stmts, kr, scalars, lowered_cache
         )
         if kr.id == 0:
-            self.final_scalars = {
+            final_scalars = {
                 k: v for k, v in scalars.items() if k in table.scalars
             }
+            return final_scalars, self.output
+        return None
 
     # --- statement execution -------------------------------------------------
 

@@ -167,6 +167,35 @@ class Message:
     seq: int
 
 
+def validate_peer(peer: int, nranks: int) -> None:
+    """Reject receives naming a rank outside the world (both backends)."""
+    if not (0 <= peer < nranks):
+        raise CommunicationError(
+            f"peer rank {peer} outside world of size {nranks}"
+        )
+
+
+def validate_send(sender: int, op: "Send", nranks: int) -> None:
+    """The send-side legality checks shared by the simulator and the
+    real-process backend, so a program that is rejected on one backend is
+    rejected identically on the other."""
+    if not (0 <= op.dest < nranks):
+        raise CommunicationError(
+            f"peer rank {op.dest} outside world of size {nranks}"
+        )
+    if op.dest == sender:
+        raise CommunicationError(
+            f"rank {sender} cannot send to itself: a self-send can never "
+            f"be received (the rank would have to block on its own "
+            f"message) — handle local data without the engine"
+        )
+    if op.tag < 0:
+        raise CommunicationError(
+            f"message tag must be >= 0, got {op.tag} "
+            f"(rank {sender} -> {op.dest})"
+        )
+
+
 class Rank:
     """Per-rank context handed to rank programs.
 

@@ -54,7 +54,6 @@ from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
 
 from repro.errors import (
     BlockedOp,
-    CommunicationError,
     DeadlockError,
     DeliveryError,
     EngineError,
@@ -71,6 +70,8 @@ from repro.machine.api import (
     Rank,
     Recv,
     Send,
+    validate_peer,
+    validate_send,
 )
 from repro.machine.cost import MachineModel
 from repro.machine.stats import RankStats, RunResult
@@ -544,27 +545,10 @@ class Engine:
     # --- helpers -------------------------------------------------------------
 
     def _validate_peer(self, peer: int) -> None:
-        if not (0 <= peer < self.nranks):
-            raise CommunicationError(
-                f"peer rank {peer} outside world of size {self.nranks}"
-            )
+        validate_peer(peer, self.nranks)
 
     def _validate_send(self, sender: int, op: Send) -> None:
-        if not (0 <= op.dest < self.nranks):
-            raise CommunicationError(
-                f"peer rank {op.dest} outside world of size {self.nranks}"
-            )
-        if op.dest == sender:
-            raise CommunicationError(
-                f"rank {sender} cannot send to itself: a self-send can never "
-                f"be received (the rank would have to block on its own "
-                f"message) — handle local data without the engine"
-            )
-        if op.tag < 0:
-            raise CommunicationError(
-                f"message tag must be >= 0, got {op.tag} "
-                f"(rank {sender} -> {op.dest})"
-            )
+        validate_send(sender, op, self.nranks)
 
 
 def run_spmd(

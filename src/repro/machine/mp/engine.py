@@ -1,0 +1,274 @@
+"""Real-parallelism engine: one OS process per rank.
+
+:class:`MpEngine` mirrors the virtual-time :class:`~repro.machine.engine.
+Engine` API — ``run(program, args) -> RunResult`` — but executes the rank
+generators concurrently on forked OS processes connected by a pipe mesh.
+Clocks, phase times, and trace events are **wall-clock seconds since run
+start** (one monotonic epoch captured before forking; ``CLOCK_MONOTONIC``
+is process-wide on the platforms fork exists on, so child timestamps are
+comparable).
+
+The parent is a supervisor, not a router: data moves directly between
+rank processes.  Over the per-rank control pipe each child streams trace
+chunks and finally its ``("finish", clock, value, stats)`` record; the
+parent assembles the same :class:`RunResult` the simulator produces, so
+``repro.obs`` (reports, Perfetto export, run-metrics registry) works on
+real runs unchanged.
+
+A watchdog bounds the whole run in wall time: real execution cannot
+prove a deadlock the way the virtual-time engine can (it *knows* when
+every rank is blocked), so after ``timeout`` seconds the parent kills
+the ranks and raises :class:`~repro.errors.DeadlockError` with each
+rank's last self-reported blocked receive from a shared-memory status
+board.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from multiprocessing.connection import wait as conn_wait
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import BlockedOp, DeadlockError, EngineError
+from repro.machine.api import Op, Rank
+from repro.machine.cost import MachineModel
+from repro.machine.mp.transport import build_pipe_mesh, close_mesh_except
+from repro.machine.mp.worker import ST_BLOCKED, ST_DONE, worker_main
+from repro.machine.stats import RankStats, RunResult
+from repro.machine.topology import FullyConnected, Topology
+from repro.machine.trace import TraceEvent
+
+RankProgram = Callable[[Rank], Generator[Op, Any, Any]]
+
+
+class MpEngine:
+    """Run an SPMD program with real parallelism (fork + pipes).
+
+    Parameters
+    ----------
+    machine:
+        Cost model handed to ``rank.machine`` so runtime code computing
+        charges runs unchanged; the modelled seconds are **not** slept.
+    topology:
+        Interconnect metadata for ``rank.topology`` (hop counts still
+        inform the runtime's combining decisions; defaults to
+        :class:`FullyConnected`, which all-OS-process execution really is).
+    nranks:
+        World size; defaults to ``topology.size``.
+    timeout:
+        Watchdog bound on the whole run, wall seconds.  On expiry every
+        rank is killed and :class:`DeadlockError` is raised.
+    trace:
+        Stream :class:`TraceEvent` records (wall-clock times) back from
+        every rank.
+    """
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        topology: Optional[Topology] = None,
+        nranks: Optional[int] = None,
+        max_ops: int = 500_000_000,
+        trace: bool = False,
+        timeout: float = 120.0,
+    ):
+        if topology is None:
+            if nranks is None:
+                raise EngineError("MpEngine needs a topology or an explicit nranks")
+            topology = FullyConnected(nranks)
+        self.machine = machine
+        self.topology = topology
+        self.nranks = nranks if nranks is not None else topology.size
+        if self.nranks > topology.size:
+            raise EngineError(
+                f"nranks={self.nranks} exceeds topology size {topology.size}"
+            )
+        self.max_ops = max_ops
+        self.trace = trace
+        if timeout <= 0:
+            raise EngineError(f"timeout must be > 0, got {timeout}")
+        self.timeout = timeout
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX hosts
+            raise EngineError(
+                "the mp backend needs the 'fork' start method (POSIX); "
+                "use backend='sim' on this platform"
+            ) from None
+
+    # --- public API ------------------------------------------------------
+
+    def run(
+        self,
+        program: RankProgram,
+        args: Optional[List[Any]] = None,
+    ) -> RunResult:
+        """Execute ``program`` on ``nranks`` OS processes; returns the
+        same :class:`RunResult` shape the simulator does, with wall-clock
+        seconds in place of virtual time."""
+        if args is not None and len(args) != self.nranks:
+            raise EngineError(f"args must have length {self.nranks}")
+        n = self.nranks
+        ctx = self._ctx
+
+        mesh = build_pipe_mesh(ctx, n)
+        ctrl_pairs = [ctx.Pipe(duplex=False) for _ in range(n)]
+        parent_ctrls = [recv for recv, _send in ctrl_pairs]
+        child_ctrls = [send for _recv, send in ctrl_pairs]
+        # Status board: (status, blocked_src, blocked_tag) per rank,
+        # written by children, read by the parent on watchdog expiry.
+        shared_state = ctx.RawArray("l", 3 * n)
+
+        t0 = time.monotonic()
+        procs = []
+        for r in range(n):
+            p = ctx.Process(
+                target=worker_main,
+                args=(
+                    r, n, program,
+                    args[r] if args is not None else None,
+                    self.machine, self.topology, mesh,
+                    child_ctrls[r], child_ctrls, shared_state, t0,
+                    self.trace, self.max_ops,
+                ),
+                name=f"repro-mp-rank-{r}",
+                daemon=True,
+            )
+            p.start()
+            procs.append(p)
+        # The parent keeps no data-plane ends and no child control ends.
+        close_mesh_except(mesh, None)
+        for c in child_ctrls:
+            c.close()
+
+        try:
+            return self._supervise(procs, parent_ctrls, shared_state, t0)
+        finally:
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+            for p in procs:
+                p.join(5.0)
+            for c in parent_ctrls:
+                try:
+                    c.close()
+                except OSError:
+                    pass
+
+    # --- supervisor loop -------------------------------------------------
+
+    def _supervise(self, procs, parent_ctrls, shared_state, t0) -> RunResult:
+        n = self.nranks
+        deadline = time.monotonic() + self.timeout
+        clocks: List[Optional[float]] = [None] * n
+        stats: List[Optional[RankStats]] = [None] * n
+        values: List[Any] = [None] * n
+        trace_events: Optional[List[TraceEvent]] = [] if self.trace else None
+        open_ctrls = {parent_ctrls[r]: r for r in range(n)}
+        pending = set(range(n))
+
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise self._deadlock(procs, shared_state, pending, t0)
+            sentinels = {procs[r].sentinel: r for r in pending}
+            ready = conn_wait(
+                list(open_ctrls) + list(sentinels), timeout=remaining
+            )
+            if not ready:
+                raise self._deadlock(procs, shared_state, pending, t0)
+            for obj in ready:
+                if obj in open_ctrls:
+                    r = open_ctrls[obj]
+                    try:
+                        msg = obj.recv()
+                    except EOFError:
+                        del open_ctrls[obj]
+                        continue
+                    kind = msg[0]
+                    if kind == "trace":
+                        if trace_events is not None:
+                            trace_events.extend(msg[1])
+                    elif kind == "finish":
+                        _, clock, value, rstats = msg
+                        clocks[r] = clock
+                        values[r] = value
+                        stats[r] = rstats
+                        pending.discard(r)
+                    elif kind == "error":
+                        _, clock, tb, rstats = msg
+                        raise EngineError(
+                            f"rank {r} failed after {clock:.3f}s "
+                            f"wall:\n{tb}"
+                        )
+                    else:  # pragma: no cover - protocol future-proofing
+                        raise EngineError(
+                            f"unknown control message {kind!r} from rank {r}"
+                        )
+                elif obj in sentinels:
+                    r = sentinels[obj]
+                    if r not in pending:
+                        continue
+                    # A finish/error may still sit in the control pipe,
+                    # racing the process exit; let the next pass read it.
+                    ctrl = parent_ctrls[r]
+                    if ctrl in open_ctrls and ctrl.poll(0):
+                        continue
+                    procs[r].join(1.0)
+                    raise EngineError(
+                        f"rank {r} died without reporting "
+                        f"(exit code {procs[r].exitcode})"
+                    )
+
+        for p in procs:
+            p.join(10.0)
+        if trace_events is not None:
+            for r in range(n):
+                trace_events.append(TraceEvent(
+                    rank=r, kind="finish", start=clocks[r], end=clocks[r]
+                ))
+            trace_events.sort(key=lambda e: (e.start, e.rank))
+        result = RunResult(
+            nranks=n,
+            clocks=[c if c is not None else 0.0 for c in clocks],
+            stats=stats,
+            values=values,
+        )
+        result.trace = trace_events
+        return result
+
+    def _deadlock(self, procs, shared_state, pending, t0) -> DeadlockError:
+        """Build the diagnostic from each stuck rank's status board entry."""
+        wall = time.monotonic() - t0
+        blocked = {}
+        for r in sorted(pending):
+            base = 3 * r
+            status = shared_state[base]
+            if status == ST_BLOCKED:
+                blocked[r] = BlockedOp(
+                    source=int(shared_state[base + 1]),
+                    tag=int(shared_state[base + 2]),
+                    phase="(mp)",
+                    clock=wall,
+                )
+            elif status != ST_DONE:
+                blocked[r] = BlockedOp(source=-9, tag=-9, phase="(running)",
+                                       clock=wall)
+        return DeadlockError(
+            blocked or {r: (-9, -9) for r in sorted(pending)},
+        )
+
+
+def run_spmd_mp(
+    program: RankProgram,
+    nranks: int,
+    machine: MachineModel,
+    topology: Optional[Topology] = None,
+    args: Optional[List[Any]] = None,
+    timeout: float = 120.0,
+) -> RunResult:
+    """One-shot convenience wrapper around :class:`MpEngine`."""
+    engine = MpEngine(machine, topology=topology, nranks=nranks,
+                      timeout=timeout)
+    return engine.run(program, args=args)

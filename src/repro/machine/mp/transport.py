@@ -1,0 +1,114 @@
+"""Pipe-mesh transport for the real-process backend.
+
+Every pair of ranks shares one duplex OS pipe, and every rank shares one
+*control* pipe with the parent.  A message is one pickled frame
+
+    (tag, seq, nbytes, send_wall, payload)
+
+written to the pairwise pipe; per ``(source, tag)`` FIFO order follows
+directly from pipe FIFO order, exactly the guarantee the virtual-time
+engine provides.  Sends never block the rank program: a per-process
+sender thread drains an unbounded queue (MPI-style eager buffering), so
+the head-to-head exchange pattern the executor emits (all sends before
+all receives) cannot deadlock on a full pipe buffer.
+
+The receive side buffers drained frames per ``(source, tag)`` channel
+and stamps each with a local arrival index, which is what wildcard
+receives order by — see :mod:`repro.machine.mp.worker` for the exact
+(relaxed) wildcard semantics.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import CommunicationError
+
+# Frame field indices (plain tuples keep pickling cheap).
+FRAME_TAG = 0
+FRAME_SEQ = 1
+FRAME_NBYTES = 2
+FRAME_WALL = 3
+FRAME_PAYLOAD = 4
+
+#: sentinel enqueued to stop a sender thread
+_STOP = object()
+
+
+def build_pipe_mesh(ctx, nranks: int) -> List[List[Optional[Any]]]:
+    """``mesh[i][j]`` is rank *i*'s connection to rank *j* (None on the
+    diagonal).  Built in the parent before forking; children inherit the
+    whole mesh and close every end that is not theirs."""
+    mesh: List[List[Optional[Any]]] = [
+        [None] * nranks for _ in range(nranks)
+    ]
+    for i in range(nranks):
+        for j in range(i + 1, nranks):
+            a, b = ctx.Pipe(duplex=True)
+            mesh[i][j] = a
+            mesh[j][i] = b
+    return mesh
+
+
+def close_mesh_except(mesh: List[List[Optional[Any]]], keep_rank: Optional[int]) -> None:
+    """Close every connection in the mesh except ``keep_rank``'s row.
+    ``keep_rank=None`` (the parent) closes everything."""
+    for i, row in enumerate(mesh):
+        if i == keep_rank:
+            continue
+        # Row i belongs to rank i.  Closing our inherited copies of every
+        # other rank's ends (including peers' ends of our own pipes) is
+        # what makes a dead peer observable as EOF instead of a hang.
+        for conn in row:
+            if conn is not None:
+                conn.close()
+
+
+class SenderThread:
+    """Eager-buffered outbound path: one thread, one FIFO queue.
+
+    ``send(conn, frame)`` enqueues and returns immediately; the thread
+    pickles and writes in order, so per-destination frame order equals
+    enqueue order.  Errors (a dead peer's broken pipe) are latched and
+    re-raised on the rank program's next op boundary."""
+
+    def __init__(self) -> None:
+        self._q: "queue.Queue[Any]" = queue.Queue()
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while True:
+            item = self._q.get()
+            if item is _STOP:
+                return
+            conn, frame = item
+            try:
+                conn.send(frame)
+            except BaseException as exc:  # latch; the main thread raises
+                self._error = exc
+                return
+
+    def send(self, conn, frame: Tuple) -> None:
+        self.check()
+        self._q.put((conn, frame))
+
+    def check(self) -> None:
+        if self._error is not None:
+            raise CommunicationError(
+                f"send to peer failed: {self._error!r} (peer process died?)"
+            )
+
+    def flush_and_stop(self, timeout: float = 30.0) -> None:
+        """Stop the thread after everything queued so far is on the wire."""
+        self._q.put(_STOP)
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise CommunicationError(
+                "sender thread failed to flush outbound messages "
+                f"within {timeout}s (peer not draining?)"
+            )
+        self.check()

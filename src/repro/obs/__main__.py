@@ -145,11 +145,13 @@ def cmd_capture(args) -> int:
         )
     machine = PRESETS[args.machine]
     mesh = five_point_grid(args.rows, args.cols)
-    prog = build_jacobi(mesh, args.procs, machine=machine, trace=True)
+    prog = build_jacobi(mesh, args.procs, machine=machine, trace=True,
+                        backend=args.backend)
     res = prog.run(sweeps=args.sweeps)
     meta = {
         "workload": "jacobi",
         "machine": machine.name,
+        "backend": args.backend,
         "procs": args.procs,
         "rows": args.rows,
         "cols": args.cols,
@@ -177,6 +179,9 @@ def build_parser() -> argparse.ArgumentParser:
     cap.add_argument("--machine", default="NCUBE/7",
                      help="cost-model preset name (NCUBE/7, iPSC/2, "
                           "modern-cluster, ideal)")
+    cap.add_argument("--backend", choices=("sim", "mp"), default="sim",
+                     help="sim: virtual time (default); mp: real OS "
+                          "processes, wall-clock trace")
     cap.add_argument("-o", "--out", default="run.json")
     cap.set_defaults(fn=cmd_capture)
 

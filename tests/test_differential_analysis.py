@@ -1,0 +1,269 @@
+"""Hypothesis differential test: closed-form planner vs run-time inspector.
+
+The compile-time analysis (paper §3.2, ``analysis/closedform.py``) and the
+run-time inspector (§3.3, ``runtime/inspector.py``) are two independent
+implementations of the same specification: given a forall's on-clause,
+affine subscripts and the arrays' distributions, produce the CommSchedule.
+Hypothesis drives both over random affine subscripts × {block, cyclic,
+block_cyclic(k)} with drawn block sizes, multiple simultaneous reads, and
+non-trivial on-clause alignment, then asserts the schedules are
+*equivalent*: identical exec partitions and identical in/out range sets
+after coalescing — plus the structural invariants coalescing promises
+(per-peer sort, disjointness, maximality).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.closedform import build_closed_form_schedule
+from repro.core.context import KaliContext
+from repro.core.forall import Affine, AffineRead, AffineWrite, Forall, OnOwner
+from repro.distributions import Block, BlockCyclic, Cyclic
+from repro.machine.cost import IDEAL
+from repro.runtime.inspector import run_inspector
+
+# Drawn distributions: block-cyclic block sizes come from Hypothesis, so
+# odd sizes (3, 7) and degenerate ones (1 = cyclic, >= n/p = block) all
+# appear.
+dist_specs = st.one_of(
+    st.just(("block", None)),
+    st.just(("cyclic", None)),
+    st.tuples(st.just("bc"), st.integers(1, 9)),
+)
+
+
+def make_dist(spec):
+    kind, param = spec
+    if kind == "block":
+        return Block()
+    if kind == "cyclic":
+        return Cyclic()
+    return BlockCyclic(param)
+
+
+affine_maps = st.tuples(st.sampled_from([1, -1, 2, 3, -2]),
+                        st.integers(-4, 4))
+
+
+def legal_range(n, maps):
+    """Largest iteration range keeping every a*i+b inside [0, n)."""
+    lo, hi = -10**9, 10**9
+    for a, b in maps:
+        bound1 = (0 - b) / a
+        bound2 = (n - 1 - b) / a
+        lo = max(lo, math.ceil(min(bound1, bound2)))
+        hi = min(hi, math.floor(max(bound1, bound2)))
+    return lo, hi
+
+
+def build_both_schedules(ctx, loop):
+    """{rank: (closed_form, inspector)} for one forall on one context."""
+    pairs = {}
+
+    def program(kr):
+        ct = build_closed_form_schedule(kr.rank, loop, kr.env)
+        rt = yield from run_inspector(kr.rank, loop, kr.env)
+        pairs[kr.id] = (ct, rt)
+
+    ctx.run(program)
+    return pairs
+
+
+def assert_schedules_equivalent(pairs):
+    for rank, (ct, rt) in pairs.items():
+        np.testing.assert_array_equal(ct.exec_local, rt.exec_local,
+                                      err_msg=f"rank {rank} exec_local")
+        np.testing.assert_array_equal(ct.exec_nonlocal, rt.exec_nonlocal,
+                                      err_msg=f"rank {rank} exec_nonlocal")
+        assert sorted(ct.arrays) == sorted(rt.arrays), f"rank {rank} arrays"
+        for name in rt.arrays:
+            assert ct.arrays[name].in_records == rt.arrays[name].in_records, (
+                f"rank {rank} array {name}: in-records differ\n"
+                f"  closed-form: {ct.arrays[name].in_records}\n"
+                f"  inspector:   {rt.arrays[name].in_records}"
+            )
+            assert ct.arrays[name].out_records == rt.arrays[name].out_records, (
+                f"rank {rank} array {name}: out-records differ"
+            )
+            assert ct.arrays[name].buffer_len == rt.arrays[name].buffer_len
+
+
+def assert_coalescing_invariants(schedule):
+    """Records are sorted by (peer, low), disjoint, and maximal."""
+    for name, a in schedule.arrays.items():
+        for records, peer_of in ((a.in_records, lambda r: r.from_proc),
+                                 (a.out_records, lambda r: r.to_proc)):
+            keys = [(peer_of(r), r.low) for r in records]
+            assert keys == sorted(keys), f"{name}: records not sorted"
+            by_peer = {}
+            for r in records:
+                by_peer.setdefault(peer_of(r), []).append(r)
+            for q, rs in by_peer.items():
+                for prev, cur in zip(rs, rs[1:]):
+                    assert prev.high < cur.low, (
+                        f"{name} peer {q}: overlapping ranges {prev} {cur}"
+                    )
+                    # maximality: adjacent offsets must have been merged
+                    assert cur.low - prev.high > 1, (
+                        f"{name} peer {q}: uncoalesced adjacency {prev} {cur}"
+                    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(4, 64),
+    p=st.sampled_from([2, 3, 4, 8]),
+    gmap=affine_maps,
+    fmap=st.sampled_from([(1, 0), (1, 1), (1, -2)]),
+    ondist=dist_specs,
+    readdist=dist_specs,
+)
+def test_closed_form_equals_inspector_single_read(
+    n, p, gmap, fmap, ondist, readdist
+):
+    """One affine read under random drawn distributions on both sides."""
+    lo, hi = legal_range(n, [gmap, fmap])
+    if lo > hi:
+        return
+    ctx = KaliContext(p, machine=IDEAL)
+    ctx.array("A", n, dist=[make_dist(readdist)]).set(np.arange(float(n)))
+    ctx.array("B", n, dist=[make_dist(ondist)]).set(np.zeros(n))
+    loop = Forall(
+        index_range=(lo, hi),
+        on=OnOwner("B", Affine(*fmap)),
+        reads=[AffineRead("A", Affine(*gmap), name="g")],
+        writes=[AffineWrite("B", Affine(*fmap))],
+        kernel=lambda iters, ops: ops["g"],
+        label=f"da1-{n}-{p}-{gmap}-{fmap}-{ondist}-{readdist}",
+    )
+    pairs = build_both_schedules(ctx, loop)
+    assert_schedules_equivalent(pairs)
+    for ct, rt in pairs.values():
+        assert_coalescing_invariants(ct)
+        assert_coalescing_invariants(rt)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(6, 48),
+    p=st.sampled_from([2, 4]),
+    gmap1=st.sampled_from([(1, 1), (1, -1), (2, 0), (-1, 0)]),
+    gmap2=st.sampled_from([(1, 2), (1, -2), (3, 0)]),
+    ondist=dist_specs,
+    d1=dist_specs,
+    d2=dist_specs,
+)
+def test_closed_form_equals_inspector_multiple_reads(
+    n, p, gmap1, gmap2, ondist, d1, d2
+):
+    """Two reads of differently-distributed arrays in one forall: each
+    array gets its own in/out sets, both paths must agree on all of them."""
+    lo, hi = legal_range(n, [gmap1, gmap2, (1, 0)])
+    if lo > hi:
+        return
+    ctx = KaliContext(p, machine=IDEAL)
+    ctx.array("X", n, dist=[make_dist(d1)]).set(np.arange(float(n)))
+    ctx.array("Y", n, dist=[make_dist(d2)]).set(np.arange(float(n)) * 2)
+    ctx.array("B", n, dist=[make_dist(ondist)]).set(np.zeros(n))
+    loop = Forall(
+        index_range=(lo, hi),
+        on=OnOwner("B"),
+        reads=[
+            AffineRead("X", Affine(*gmap1), name="x"),
+            AffineRead("Y", Affine(*gmap2), name="y"),
+        ],
+        writes=[AffineWrite("B")],
+        kernel=lambda iters, ops: ops["x"] + ops["y"],
+        label=f"da2-{n}-{p}-{gmap1}-{gmap2}-{ondist}-{d1}-{d2}",
+    )
+    pairs = build_both_schedules(ctx, loop)
+    assert_schedules_equivalent(pairs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(4, 64),
+    p=st.sampled_from([2, 4, 8]),
+    gmap=affine_maps,
+    ondist=dist_specs,
+    readdist=dist_specs,
+)
+def test_in_out_duality_across_ranks(n, p, gmap, ondist, readdist):
+    """q's out-ranges to me equal my in-ranges from q (paper's in/out
+    duality) for BOTH analysis paths, over random drawn distributions."""
+    lo, hi = legal_range(n, [gmap])
+    if lo > hi:
+        return
+    ctx = KaliContext(p, machine=IDEAL)
+    ctx.array("A", n, dist=[make_dist(readdist)]).set(np.arange(float(n)))
+    ctx.array("B", n, dist=[make_dist(ondist)]).set(np.zeros(n))
+    loop = Forall(
+        index_range=(lo, hi),
+        on=OnOwner("B"),
+        reads=[AffineRead("A", Affine(*gmap), name="g")],
+        writes=[AffineWrite("B")],
+        kernel=lambda iters, ops: ops["g"],
+        label=f"da3-{n}-{p}-{gmap}-{ondist}-{readdist}",
+    )
+    pairs = build_both_schedules(ctx, loop)
+    for which in (0, 1):  # 0 = closed-form, 1 = inspector
+        scheds = {r: pair[which] for r, pair in pairs.items()}
+        for me in range(p):
+            for q in range(p):
+                if me == q:
+                    continue
+                ins = [(r.low, r.high)
+                       for r in scheds[me].arrays["A"].ranges_for_peer_in(q)]
+                outs = [(r.low, r.high)
+                        for r in scheds[q].arrays["A"].ranges_for_peer_out(me)]
+                assert ins == outs, (
+                    f"path {which}: in({me},{q}) != out({q},{me})"
+                )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(8, 48),
+    p=st.sampled_from([2, 4]),
+    gmap=st.sampled_from([(1, 1), (1, -1), (2, 1)]),
+    ondist=dist_specs,
+    readdist=dist_specs,
+)
+def test_both_schedules_execute_identically(n, p, gmap, ondist, readdist):
+    """Forcing either strategy end-to-end gives the same (oracle) result —
+    schedule equivalence is not just structural."""
+    from repro.analysis.planner import Strategy
+
+    lo, hi = legal_range(n, [gmap, (1, 0)])
+    if lo > hi:
+        return
+    init = np.arange(float(n)) + 0.5
+    results = {}
+    for strategy in (Strategy.COMPILE_TIME, Strategy.RUNTIME):
+        ctx = KaliContext(p, machine=IDEAL, force_strategy=strategy)
+        ctx.array("A", n, dist=[make_dist(readdist)]).set(init.copy())
+        ctx.array("B", n, dist=[make_dist(ondist)]).set(np.zeros(n))
+        loop = Forall(
+            index_range=(lo, hi),
+            on=OnOwner("B"),
+            reads=[AffineRead("A", Affine(*gmap), name="g")],
+            writes=[AffineWrite("B")],
+            kernel=lambda iters, ops: ops["g"],
+            label=f"da4-{n}-{p}-{gmap}-{ondist}-{readdist}-{strategy}",
+        )
+
+        def program(kr, loop=loop):
+            yield from kr.forall(loop)
+
+        ctx.run(program)
+        results[strategy] = ctx.arrays["B"].data.copy()
+
+    expected = np.zeros(n)
+    its = np.arange(lo, hi + 1)
+    expected[its] = init[gmap[0] * its + gmap[1]]
+    np.testing.assert_array_equal(results[Strategy.COMPILE_TIME], expected)
+    np.testing.assert_array_equal(results[Strategy.RUNTIME], expected)

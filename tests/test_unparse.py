@@ -153,6 +153,118 @@ def test_random_expression_fixpoint(text):
     assert once == twice
 
 
+# --- hypothesis: random full-program round-trips --------------------------------
+#
+# Satellite to the differential-testing PR: fuzz the whole frontend, not
+# just expressions.  Programs draw processors declarations, dist-by
+# clauses over every distribution kind, foralls with both on-clause
+# forms, nested control flow, redistribute and print — then assert the
+# parse -> unparse -> parse fixpoint.
+
+DIST_CLAUSES = st.sampled_from([
+    "[ block ]",
+    "[ cyclic ]",
+    "[block_cyclic(2)]",
+    "[ block_cyclic(3 + 1) ]",
+])
+
+ARRAY_NAMES = ["A", "B", "C"]
+
+
+@st.composite
+def kali_programs(draw):
+    n = draw(st.integers(4, 32))
+    lines = [
+        "processors Procs : array[1..P] with P in 1..8;",
+        f"const n : integer := {n};",
+    ]
+    arrays = draw(st.lists(st.sampled_from(ARRAY_NAMES), min_size=1,
+                           max_size=3, unique=True))
+    for name in arrays:
+        dist = draw(DIST_CLAUSES)
+        elem = draw(st.sampled_from(["real", "integer"]))
+        lines.append(
+            f"var {name} : array[1..n] of {elem} dist by {dist} on Procs;"
+        )
+    lines.append("var x : real;\n    t : integer;")
+
+    def subscript():
+        return draw(st.sampled_from(["i", "i + 1", "i - 1", "2 * i", "1"]))
+
+    def simple_stmt(indent):
+        pad = "    " * indent
+        kind = draw(st.sampled_from(
+            ["arr_assign", "scalar", "print", "if", "for"]
+        ))
+        if kind == "arr_assign":
+            dst = draw(st.sampled_from(arrays))
+            src = draw(st.sampled_from(arrays))
+            return [f"{pad}{dst}[{subscript()}] := "
+                    f"{src}[{subscript()}] + {draw(st.integers(0, 9))};"]
+        if kind == "scalar":
+            return [f"{pad}t := t + {draw(st.integers(1, 5))};"]
+        if kind == "print":
+            return [f"{pad}print(\"v\", t);"]
+        if kind == "if":
+            body = simple_stmt(indent + 1)
+            if draw(st.booleans()):
+                other = simple_stmt(indent + 1)
+                return ([f"{pad}if t > {draw(st.integers(0, 9))} then"]
+                        + body + [f"{pad}else"] + other + [f"{pad}end;"])
+            return ([f"{pad}if t > {draw(st.integers(0, 9))} then"]
+                    + body + [f"{pad}end;"])
+        body = simple_stmt(indent + 1)
+        return ([f"{pad}for j in 1..{draw(st.integers(1, 4))} do"]
+                + body + [f"{pad}end;"])
+
+    nstmts = draw(st.integers(1, 4))
+    for _ in range(nstmts):
+        top = draw(st.sampled_from(["forall", "plain", "while", "redist"]))
+        if top == "forall":
+            arr = draw(st.sampled_from(arrays))
+            on = draw(st.sampled_from([f"{arr}[i].loc", "Procs[i]"]))
+            lo, hi = draw(st.sampled_from([("1", "n"), ("2", "n - 1")]))
+            body = simple_stmt(1)
+            if draw(st.booleans()):
+                body = ["    var y : real;", "    y := 0.0;"] + body
+            lines += [f"forall i in {lo}..{hi} on {on} do"] + body + ["end;"]
+        elif top == "while":
+            lines += (["t := 0;", "while ( t < 3 ) do"]
+                      + simple_stmt(1) + ["    t := t + 1;", "end;"])
+        elif top == "redist":
+            arr = draw(st.sampled_from(arrays))
+            lines.append(f"redistribute {arr} by {draw(DIST_CLAUSES)};")
+        else:
+            lines += simple_stmt(0)
+    return "\n".join(lines) + "\n"
+
+
+@settings(max_examples=60, deadline=None)
+@given(kali_programs())
+def test_random_program_fixpoint(src):
+    """parse -> unparse -> parse -> unparse is a fixpoint for whole
+    programs (declarations, foralls, dist-by, control flow)."""
+    once = unparse(parse(src))
+    twice = unparse(parse(once))
+    assert once == twice
+
+
+@settings(max_examples=60, deadline=None)
+@given(kali_programs())
+def test_random_program_reparse_preserves_shape(src):
+    """The reparsed AST declares the same names and the same statement
+    kinds in the same order — unparse loses no program structure."""
+    p1 = parse(src)
+    p2 = parse(unparse(p1))
+    assert [type(s).__name__ for s in p1.stmts] \
+        == [type(s).__name__ for s in p2.stmts]
+    def decl_key(d):
+        return (type(d).__name__,
+                tuple(getattr(d, "names", ())) or getattr(d, "name", None))
+
+    assert [decl_key(d) for d in p1.decls] == [decl_key(d) for d in p2.decls]
+
+
 @settings(max_examples=40, deadline=None)
 @given(exprs())
 def test_random_expression_value_preserved(text):

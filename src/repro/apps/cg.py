@@ -96,6 +96,8 @@ class CGSolver:
         trace: bool = False,
         backend: str = "sim",
         mp_timeout: float = 120.0,
+        pool=None,
+        schedule_cache_dir: Optional[str] = None,
     ):
         self.mesh = mesh
         n = mesh.n
@@ -104,7 +106,8 @@ class CGSolver:
         dist = dist if dist is not None else Block()
 
         ctx = KaliContext(nprocs, machine=machine, faults=faults, trace=trace,
-                          backend=backend, mp_timeout=mp_timeout)
+                          backend=backend, mp_timeout=mp_timeout,
+                          pool=pool, schedule_cache_dir=schedule_cache_dir)
         self.ctx = ctx
         for name in ("x", "r", "p", "q", "b"):
             ctx.array(name, n, dist=[dist._clone()])

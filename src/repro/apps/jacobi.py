@@ -112,6 +112,8 @@ def build_jacobi(
     faults=None,
     backend: str = "sim",
     mp_timeout: float = 120.0,
+    pool=None,
+    schedule_cache_dir: Optional[str] = None,
 ) -> JacobiProgram:
     """Declare the Figure 4 arrays and foralls on a fresh context.
 
@@ -131,6 +133,8 @@ def build_jacobi(
         faults=faults,
         backend=backend,
         mp_timeout=mp_timeout,
+        pool=pool,
+        schedule_cache_dir=schedule_cache_dir,
     )
     n, width = mesh.n, mesh.width
 

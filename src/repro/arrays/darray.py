@@ -18,6 +18,7 @@ invalidates saved schedules.
 
 from __future__ import annotations
 
+import hashlib
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
@@ -61,6 +62,7 @@ class DistributedArray:
         self.dtype = np.dtype(dtype)
         self._data = np.zeros(self.shape, dtype=self.dtype)
         self._version = 0
+        self._fingerprint: Optional[tuple] = None  # (version, sha256 hex)
 
     # --- global access (driver side) ---------------------------------------
 
@@ -94,6 +96,21 @@ class DistributedArray:
 
     # --- scatter / gather -------------------------------------------------------
 
+    def content_fingerprint(self) -> str:
+        """SHA-256 of the *global* content (cached per version).
+
+        Stamped onto every scattered :class:`LocalArray` so content-
+        addressed schedule keys hash what schedules actually depend on —
+        the whole array, identically on every rank — rather than the
+        rank's local piece.
+        """
+        if self._fingerprint is None or self._fingerprint[0] != self._version:
+            digest = hashlib.sha256(
+                np.ascontiguousarray(self._data).tobytes()
+            ).hexdigest()
+            self._fingerprint = (self._version, digest)
+        return self._fingerprint[1]
+
     def scatter(self, rank: int) -> LocalArray:
         """Cut the local piece for ``rank`` (a copy — ranks own their data)."""
         dist = self.dist
@@ -107,7 +124,8 @@ class DistributedArray:
                 p = 0 if pdim is None else coords[pdim]
                 slicers.append(dim.local_indices(p))
             local = self._data[np.ix_(*slicers)].copy()
-        return LocalArray(self.name, rank, dist, local, version=self._version)
+        return LocalArray(self.name, rank, dist, local, version=self._version,
+                          content_tag=self.content_fingerprint())
 
     def scatter_all(self) -> List[LocalArray]:
         return [self.scatter(r) for r in range(self.dist.procs.size)]

@@ -29,7 +29,7 @@ class LocalArray:
     """
 
     __slots__ = ("name", "rank", "dist", "data", "version", "dist_version",
-                 "_global_rows")
+                 "content_tag", "_global_rows")
 
     def __init__(
         self,
@@ -39,6 +39,7 @@ class LocalArray:
         data: np.ndarray,
         version: int = 0,
         dist_version: int = 0,
+        content_tag: Optional[str] = None,
     ):
         self.name = name
         self.rank = rank
@@ -48,6 +49,12 @@ class LocalArray:
         #: bumped whenever the distribution changes (redistribute); cached
         #: schedules referencing this array become invalid.
         self.dist_version = dist_version
+        #: fingerprint of the **global** array content at scatter time.
+        #: Schedules are collective, so content-addressed cache keys must
+        #: hash global content — hashing only the local piece would let
+        #: ranks disagree about a hit and diverge.  None when unknown
+        #: (e.g. after a redistribute), which disables the disk tier.
+        self.content_tag = content_tag
         self._global_rows: Optional[np.ndarray] = None
 
     # --- index translation -------------------------------------------------
@@ -91,7 +98,7 @@ class LocalArray:
 
     def copy(self) -> "LocalArray":
         return LocalArray(self.name, self.rank, self.dist, self.data.copy(),
-                          self.version, self.dist_version)
+                          self.version, self.dist_version, self.content_tag)
 
     def nbytes_rows(self, nrows: int) -> int:
         """Wire size of ``nrows`` rows (for message cost accounting)."""

@@ -15,6 +15,7 @@ from repro.bench.experiments import (
     handcoded_ablation,
     mp_wallclock,
     processor_scaling,
+    serving_throughput,
     single_sweep_overhead,
     size_scaling,
     straggler_experiment,
@@ -41,6 +42,7 @@ __all__ = [
     "mp_wallclock",
     "distribution_ablation",
     "drop_rate_experiment",
+    "serving_throughput",
     "straggler_experiment",
     "processor_table",
     "size_table",

@@ -30,6 +30,7 @@ from repro.bench import (
     handcoded_ablation,
     mp_wallclock,
     processor_scaling,
+    serving_throughput,
     single_sweep_overhead,
     size_scaling,
     straggler_experiment,
@@ -106,6 +107,65 @@ def _main_mp(args) -> int:
     return 0
 
 
+def _main_serve(args) -> int:
+    """The ``--serve`` suite: repeated-job throughput of the serve tier."""
+    from repro.obs.registry import MetricsRegistry, write_run_json
+
+    t0 = time.time()
+    njobs = 5 if args.fast else 10
+    mesh_side = 12 if args.fast else 16
+    rows, runs = serving_throughput(NCUBE7, njobs=njobs,
+                                    mesh_side=mesh_side)
+
+    print(ablation_table(
+        f"S1  serve-tier throughput (repro.serve), {njobs}x identical "
+        f"{mesh_side}x{mesh_side} Jacobi jobs, 4 ranks — wall seconds",
+        rows,
+        ["jobs_per_s", "p50_ms", "p95_ms", "inspector_first",
+         "inspector_rest"],
+        key_header="regime",
+    ))
+    print()
+
+    by_key = {r.key: r.values for r in rows}
+    warm = by_key["warm-pool+disk"]
+    speedup = warm["jobs_per_s"] / by_key["fork-per-run"]["jobs_per_s"]
+    print(f"[warm-pool+disk vs fork-per-run: {speedup:.2f}x jobs/sec]")
+    if warm["inspector_rest"] != 0.0:
+        print("[FAIL: warm-pool+disk re-inspected on a cache hit]")
+        return 1
+
+    if args.metrics_dir:
+        metrics_dir = pathlib.Path(args.metrics_dir)
+        metrics_dir.mkdir(parents=True, exist_ok=True)
+        for regime, engine_result in runs.items():
+            slug = regime.replace("+", "_").replace("-", "_")
+            run_path = metrics_dir / f"S1_serve_{slug}.run.json"
+            write_run_json(engine_result, str(run_path), meta={
+                "backend": regime,
+                "workload": "jacobi",
+                "machine": NCUBE7.name,
+                "mesh_side": mesh_side,
+                "njobs": njobs,
+            })
+            reg = MetricsRegistry.from_run(engine_result, extra={
+                f"serve.{k}": v for k, v in by_key[regime].items()
+            })
+            metrics_path = metrics_dir / f"S1_serve_{slug}.metrics.json"
+            metrics_path.write_text(reg.to_json(indent=2) + "\n")
+            print(f"[run file written to {run_path}]")
+        doc = {
+            "experiment": "S1_serve_throughput",
+            "fast": args.fast,
+            "rows": _rows_to_jsonable(rows),
+        }
+        (metrics_dir / "S1_serve_throughput.metrics.json").write_text(
+            json.dumps(doc, indent=2) + "\n"
+        )
+    print(f"\n[serve suite done in {time.time() - t0:.1f}s wall]")
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fast", action="store_true", help="small meshes only")
@@ -116,8 +176,13 @@ def main(argv=None) -> int:
     ap.add_argument("--backend", choices=("sim", "mp"), default="sim",
                     help="sim: virtual-time tables (default); mp: real "
                          "OS processes with wall-clock run files")
+    ap.add_argument("--serve", action="store_true",
+                    help="run the serve-tier throughput suite (S1) instead "
+                         "of the paper tables")
     args = ap.parse_args(argv)
 
+    if args.serve:
+        return _main_serve(args)
     if args.backend == "mp":
         return _main_mp(args)
 

@@ -393,3 +393,101 @@ def straggler_experiment(
             },
         ))
     return rows
+
+
+# --- serving experiments (repro.serve) -----------------------------------
+
+
+def serving_throughput(
+    machine: MachineModel,
+    njobs: int = 10,
+    nprocs: int = 4,
+    mesh_side: int = 16,
+    sweeps: int = 2,
+    cache_dir: Optional[str] = None,
+):
+    """S1: repeated-job throughput, serve tier vs fork-per-run vs sim.
+
+    Runs the same Jacobi job ``njobs`` times under four regimes —
+    in-process simulator, fork-per-run mp backend, warm rank pool, and
+    warm pool with the persistent schedule-cache tier — and reports
+    jobs/sec plus p50/p95 per-job wall latency.  ``inspector_rest`` is
+    the total inspector executions across jobs 2..N: with the disk tier
+    it must be zero (every warm job is a pure cache hit).  The default
+    ``sweeps=2`` keeps each job short — the serving regime the pool
+    exists for is many small repeated jobs, where per-job overhead
+    (fork + inspection) dominates and the warm tiers show their worth.
+
+    Returns ``(rows, runs)``; ``runs`` maps regime name to the final
+    job's engine :class:`RunResult` (wall-clock ``repro-run-v1``
+    material — the last job is the steady-state one).
+    """
+    import tempfile
+    import time as _time
+
+    import numpy as np
+
+    from repro.serve.pool import RankPool
+
+    mesh = five_point_grid(mesh_side, mesh_side)
+    initial = np.random.default_rng(20260806).random(mesh.n)
+    owned_tmp = None
+    if cache_dir is None:
+        owned_tmp = tempfile.TemporaryDirectory(prefix="repro-s1-cache-")
+        cache_dir = owned_tmp.name
+
+    def one_job(pool=None, backend="sim", disk=None):
+        prog = build_jacobi(
+            mesh, nprocs, machine=machine, initial=initial.copy(),
+            backend=backend, pool=pool, schedule_cache_dir=disk,
+        )
+        t0 = _time.perf_counter()
+        res = prog.run(sweeps=sweeps)
+        return _time.perf_counter() - t0, res
+
+    def run_regime(**kw):
+        latencies, last = [], None
+        inspector = []
+        for _ in range(njobs):
+            wall, res = one_job(**kw)
+            latencies.append(wall)
+            inspector.append(res.engine.counter_sum("inspector_runs"))
+            last = res
+        return latencies, inspector, last
+
+    regimes = [
+        ("sim", {}),
+        ("fork-per-run", {"backend": "mp"}),
+    ]
+    rows, runs = [], {}
+    pools = []
+    try:
+        warm = RankPool(nprocs)
+        pools.append(warm)
+        regimes.append(("warm-pool", {"pool": warm}))
+        warm_disk = RankPool(nprocs)
+        pools.append(warm_disk)
+        regimes.append(
+            ("warm-pool+disk", {"pool": warm_disk, "disk": cache_dir})
+        )
+
+        for name, kw in regimes:
+            latencies, inspector, last = run_regime(**kw)
+            lat = np.asarray(latencies)
+            rows.append(AblationRow(
+                key=name,
+                values={
+                    "jobs_per_s": njobs / float(lat.sum()),
+                    "p50_ms": float(np.percentile(lat, 50)) * 1e3,
+                    "p95_ms": float(np.percentile(lat, 95)) * 1e3,
+                    "inspector_first": float(inspector[0]),
+                    "inspector_rest": float(sum(inspector[1:])),
+                },
+            ))
+            runs[name] = last.engine
+    finally:
+        for pool in pools:
+            pool.close()
+        if owned_tmp is not None:
+            owned_tmp.cleanup()
+    return rows, runs

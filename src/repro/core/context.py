@@ -64,13 +64,25 @@ class KaliRank:
         force_strategy: Optional[Strategy] = None,
         translation: str = "ranges",
         combine_messages: bool = True,
+        schedule_cache_dir: Optional[str] = None,
+        disk_cache_bytes: int = 256 * 1024 * 1024,
     ):
         if translation not in ("ranges", "enumerated"):
             raise KaliError(f"unknown translation kind {translation!r}")
         self.combine_messages = combine_messages
         self.rank = rank
         self.env = env
-        self.cache = ScheduleCache(enabled=cache_enabled)
+        disk = None
+        if schedule_cache_dir is not None:
+            from repro.serve.diskcache import shared_disk_cache
+
+            # Shared per (dir, rank) within the process: a pool worker
+            # builds a KaliRank per job, and the shared store's memo is
+            # what makes repeat disk hits cost two stats, not a load.
+            disk = shared_disk_cache(schedule_cache_dir, rank.id,
+                                     max_bytes=disk_cache_bytes)
+        self.cache = ScheduleCache(enabled=cache_enabled, disk=disk,
+                                   translation=translation)
         self.force_strategy = force_strategy
         self.translation = translation
         self._tag_seq = 0
@@ -116,8 +128,10 @@ class KaliRank:
                 schedule = yield from run_inspector(self.rank, loop, self.env)
             if self.translation == "enumerated":
                 schedule.enumerate_translations()
-            self.cache.store(loop, schedule)
-            self.strategies_used[loop.label] = schedule.built_by
+            self.cache.store_through(loop, schedule, self.env)
+            for cname, amount in self.cache.take_counts().items():
+                yield ApiCount(cname, amount)
+        self.strategies_used[loop.label] = schedule.built_by
         n_arrays = max(1, len({r.array for r in loop.reads}))
         tag_base = self._tag_seq
         self._tag_seq = (self._tag_seq + n_arrays) % (1 << 18)
@@ -297,6 +311,9 @@ class KaliContext:
         faults=None,
         backend: str = "sim",
         mp_timeout: float = 120.0,
+        pool=None,
+        schedule_cache_dir: Optional[str] = None,
+        disk_cache_bytes: int = 256 * 1024 * 1024,
     ):
         self.procs = procs or ProcessorArray(nprocs)
         if self.procs.size != nprocs:
@@ -307,6 +324,13 @@ class KaliContext:
             raise KaliError(
                 f"unknown backend {backend!r} (expected 'sim' or 'mp')"
             )
+        if pool is not None:
+            if pool.nranks != nprocs:
+                raise KaliError(
+                    f"pool has {pool.nranks} ranks but context wants "
+                    f"{nprocs} — pools serve one world size"
+                )
+            backend = "mp"  # pooled execution is real-process execution
         if backend == "mp" and faults is not None:
             raise KaliError(
                 "fault plans need the deterministic virtual-time engine; "
@@ -314,6 +338,12 @@ class KaliContext:
             )
         self.backend = backend
         self.mp_timeout = mp_timeout
+        #: optional :class:`repro.serve.RankPool` — run on warm rank
+        #: processes instead of forking a fresh mesh per run
+        self.pool = pool
+        #: optional directory of the persistent schedule-cache tier
+        self.schedule_cache_dir = schedule_cache_dir
+        self.disk_cache_bytes = disk_cache_bytes
         self.machine = machine
         if topology is None:
             topology = (
@@ -327,6 +357,15 @@ class KaliContext:
         self.trace = trace
         self.faults = faults
         self.arrays: Dict[str, DistributedArray] = {}
+
+    def __getstate__(self):
+        """Programs shipped to pool workers often close over their context
+        (solver objects keep a ``self.ctx``); the pool handle holds live
+        pipe :class:`Connection` objects that must never cross a pickle.
+        Workers only read declarations and knobs, so drop the pool."""
+        state = dict(self.__dict__)
+        state["pool"] = None
+        return state
 
     # --- declarations ------------------------------------------------------
 
@@ -362,6 +401,8 @@ class KaliContext:
         force_strategy = self.force_strategy
         translation = self.translation
         combine_messages = self.combine_messages
+        schedule_cache_dir = self.schedule_cache_dir
+        disk_cache_bytes = self.disk_cache_bytes
         arrays = self.arrays
         sim = self.backend == "sim"
 
@@ -374,6 +415,8 @@ class KaliContext:
                 force_strategy=force_strategy,
                 translation=translation,
                 combine_messages=combine_messages,
+                schedule_cache_dir=schedule_cache_dir,
+                disk_cache_bytes=disk_cache_bytes,
             )
             if sim:
                 kranks[rank.id] = kr
@@ -392,13 +435,19 @@ class KaliContext:
             engine = Engine(self.machine, topology=self.topology,
                             nranks=self.procs.size, trace=self.trace,
                             faults=self.faults)
+            engine_result = engine.run(rank_main)
+        elif self.pool is not None:
+            engine_result = self.pool.run(
+                rank_main, self.machine, topology=self.topology,
+                trace=self.trace, timeout=self.mp_timeout,
+            )
         else:
             from repro.machine.mp import MpEngine
 
             engine = MpEngine(self.machine, topology=self.topology,
                               nranks=self.procs.size, trace=self.trace,
                               timeout=self.mp_timeout)
-        engine_result = engine.run(rank_main)
+            engine_result = engine.run(rank_main)
         outcomes: List[_RankOutcome] = list(engine_result.values)
 
         # Gather per-rank pieces back into the driver-side global arrays.

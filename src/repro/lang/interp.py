@@ -121,6 +121,8 @@ class CompiledKali:
         cache_enabled: bool = True,
         translation: str = "ranges",
         backend: str = "sim",
+        pool=None,
+        schedule_cache_dir: Optional[str] = None,
     ) -> KaliLangResult:
         consts = dict(consts or {})
         inputs = dict(inputs or {})
@@ -166,6 +168,8 @@ class CompiledKali:
             cache_enabled=cache_enabled,
             translation=translation,
             backend=backend,
+            pool=pool,
+            schedule_cache_dir=schedule_cache_dir,
         )
         array_infos: Dict[str, ArrayInfo] = {}
         for decl in self.program.decls:

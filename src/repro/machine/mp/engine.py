@@ -150,6 +150,11 @@ class MpEngine:
                     p.terminate()
             for p in procs:
                 p.join(5.0)
+            for p in procs:
+                try:  # releases the sentinel fd now, not at GC time
+                    p.close()
+                except ValueError:
+                    pass  # still alive after terminate+join; GC reaps it
             for c in parent_ctrls:
                 try:
                     c.close()

@@ -21,8 +21,18 @@ receives order by — see :mod:`repro.machine.mp.worker` for the exact
 from __future__ import annotations
 
 import queue
+import struct
 import threading
+from multiprocessing.reduction import ForkingPickler
 from typing import Any, List, Optional, Tuple
+
+try:
+    import fcntl
+    import termios
+    _TIOCOUTQ: Optional[int] = getattr(termios, "TIOCOUTQ", None)
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    fcntl = None
+    _TIOCOUTQ = None
 
 from repro.errors import CommunicationError
 
@@ -35,6 +45,31 @@ FRAME_PAYLOAD = 4
 
 #: sentinel enqueued to stop a sender thread
 _STOP = object()
+
+#: sentinel enqueued to mark a flush point (payload: threading.Event)
+_FLUSH = object()
+
+#: largest frame the sender may write inline: PIPE_BUF (4096 on Linux)
+#: minus the 4-byte length header Connection.send_bytes prepends, so the
+#: whole write is one atomic, provably non-blocking syscall
+_INLINE_MAX = 4092
+
+
+def _outq_empty(conn) -> bool:
+    """True when ``conn``'s kernel send queue is provably empty.
+
+    The duplex mesh pipes are AF_UNIX socket pairs; ``TIOCOUTQ`` reports
+    the sender-side unconsumed byte count, so zero means the full send
+    buffer (>= 4 KiB on any Linux) is free and a small blocking write
+    cannot stall.  Anything unqueryable answers False — the caller falls
+    back to the sender thread, which is always safe."""
+    if fcntl is None or _TIOCOUTQ is None:
+        return False
+    try:
+        data = fcntl.ioctl(conn.fileno(), _TIOCOUTQ, b"\x00\x00\x00\x00")
+        return struct.unpack("@i", data)[0] == 0
+    except (OSError, ValueError):
+        return False
 
 
 def build_pipe_mesh(ctx, nranks: int) -> List[List[Optional[Any]]]:
@@ -69,14 +104,24 @@ def close_mesh_except(mesh: List[List[Optional[Any]]], keep_rank: Optional[int])
 class SenderThread:
     """Eager-buffered outbound path: one thread, one FIFO queue.
 
-    ``send(conn, frame)`` enqueues and returns immediately; the thread
-    pickles and writes in order, so per-destination frame order equals
+    ``send(conn, frame)`` returns immediately; frames are pickled in the
+    caller and written in order, so per-destination frame order equals
     enqueue order.  Errors (a dead peer's broken pipe) are latched and
-    re-raised on the rank program's next op boundary."""
+    re-raised on the rank program's next op boundary.
+
+    Fast path: a small frame headed for a connection with nothing queued
+    *and* an empty kernel send buffer is written inline by the calling
+    thread — one atomic ``<= PIPE_BUF`` write that provably cannot block.
+    This skips the thread handoff entirely, which matters most on
+    oversubscribed hosts where waking the sender thread costs a scheduler
+    round trip per message.  Everything else takes the queue, preserving
+    the never-blocks-the-rank guarantee for bulk traffic."""
 
     def __init__(self) -> None:
         self._q: "queue.Queue[Any]" = queue.Queue()
         self._error: Optional[BaseException] = None
+        self._lock = threading.Lock()
+        self._queued: dict = {}   # conn -> frames handed to the thread
         self._thread = threading.Thread(target=self._run, daemon=True)
         self._thread.start()
 
@@ -85,16 +130,50 @@ class SenderThread:
             item = self._q.get()
             if item is _STOP:
                 return
-            conn, frame = item
+            if isinstance(item, tuple) and item[0] is _FLUSH:
+                item[1].set()
+                continue
+            conn, buf = item
             try:
-                conn.send(frame)
+                conn.send_bytes(buf)
             except BaseException as exc:  # latch; the main thread raises
                 self._error = exc
                 return
+            with self._lock:
+                self._queued[conn] -= 1
 
     def send(self, conn, frame: Tuple) -> None:
         self.check()
-        self._q.put((conn, frame))
+        buf = bytes(ForkingPickler.dumps(frame))
+        with self._lock:
+            if (
+                len(buf) <= _INLINE_MAX
+                and not self._queued.get(conn)
+                and _outq_empty(conn)
+            ):
+                # Nothing in flight to this peer, whole frame fits one
+                # atomic pipe write: send inline, no thread wakeup.
+                try:
+                    conn.send_bytes(buf)
+                except BaseException as exc:
+                    self._error = exc
+                return
+            self._queued[conn] = self._queued.get(conn, 0) + 1
+        self._q.put((conn, buf))
+
+    def flush(self, timeout: float = 30.0) -> None:
+        """Block until everything queued so far is on the wire, without
+        stopping the thread (pool workers flush between jobs and keep the
+        sender for the next one)."""
+        event = threading.Event()
+        self._q.put((_FLUSH, event))
+        if not event.wait(timeout):
+            self.check()
+            raise CommunicationError(
+                f"sender thread failed to flush outbound messages within "
+                f"{timeout}s (peer not draining?)"
+            )
+        self.check()
 
     def check(self) -> None:
         if self._error is not None:

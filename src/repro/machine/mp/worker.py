@@ -187,6 +187,15 @@ class _Inbox:
     def leftover(self) -> int:
         return sum(len(q) for q in self.buffered.values())
 
+    def reset(self) -> int:
+        """Discard every buffered frame (warm-pool job boundary); returns
+        the number discarded.  Connections and dead-peer state persist —
+        only per-job message state is cleared."""
+        discarded = self.leftover()
+        self.buffered.clear()
+        self.arrival_wall.clear()
+        return discarded
+
 
 def worker_main(
     rank_id: int,
@@ -263,6 +272,10 @@ def worker_main(
             flush_trace(force=True)
             ctrl.send(("error", now(), traceback.format_exc(), stats))
             ctrl.close()
+        except Exception:
+            pass
+        try:  # deterministic teardown: no sender thread outlives the report
+            sender.flush_and_stop(timeout=5.0)
         except Exception:
             pass
         raise SystemExit(1)

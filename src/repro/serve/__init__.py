@@ -1,0 +1,53 @@
+"""repro.serve — warm rank-pool job server with a persistent schedule cache.
+
+Three layers, composable independently:
+
+* :class:`RankPool` (``serve.pool``) — the mp backend's forked pipe mesh,
+  kept warm and reused across jobs, with health checks and crash-rebuild;
+* :class:`JobServer` / :class:`JobQueue` (``serve.server`` / ``serve.queue``)
+  — FIFO/priority job scheduling with futures, batching of same-shape
+  jobs, and a unix-socket CLI (``python -m repro.serve``);
+* :class:`DiskScheduleCache` (``serve.diskcache``) — the on-disk,
+  content-addressed second tier of the schedule cache, so a restarted
+  server re-executes known foralls with zero inspector cost.
+
+Attributes resolve lazily: ``repro.runtime.cache`` imports this package's
+``diskcache`` module while ``serve.server`` imports ``repro.core.context``
+— eager re-exports here would tie that knot into a cycle.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "RankPool": ("repro.serve.pool", "RankPool"),
+    "DiskScheduleCache": ("repro.serve.diskcache", "DiskScheduleCache"),
+    "schedule_content_key": ("repro.serve.diskcache", "schedule_content_key"),
+    "SCHEDCACHE_FORMAT": ("repro.serve.diskcache", "SCHEDCACHE_FORMAT"),
+    "JobQueue": ("repro.serve.queue", "JobQueue"),
+    "Job": ("repro.serve.queue", "Job"),
+    "JobFuture": ("repro.serve.queue", "JobFuture"),
+    "JobServer": ("repro.serve.server", "JobServer"),
+    "ServeClient": ("repro.serve.server", "ServeClient"),
+    "shipping": ("repro.serve.shipping", None),
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro.serve' has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = module if attr is None else getattr(module, attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,137 @@
+"""``python -m repro.serve`` — job-server CLI over the unix socket.
+
+::
+
+    python -m repro.serve start  --nranks 4 --socket /tmp/repro.sock \\
+                                 --cache-dir /tmp/schedcache
+    python -m repro.serve submit --socket /tmp/repro.sock --kind jacobi \\
+                                 --spec '{"rows": 16, "sweeps": 10}'
+    python -m repro.serve stat   --socket /tmp/repro.sock
+    python -m repro.serve drain  --socket /tmp/repro.sock
+    python -m repro.serve stop   --socket /tmp/repro.sock
+
+``start`` runs in the foreground (background it with ``&`` or a service
+manager).  Every other command is a thin JSON-lines client; ``--json``
+prints raw responses for scripting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _add_socket(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--socket", required=True,
+                   help="unix socket path of the server")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="warm rank-pool job server",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("start", help="run a server in the foreground")
+    _add_socket(p)
+    p.add_argument("--nranks", type=int, default=4)
+    p.add_argument("--policy", choices=("fifo", "priority"), default="fifo")
+    p.add_argument("--cache-dir", default=None,
+                   help="directory of the persistent schedule cache")
+    p.add_argument("--metrics-dir", default=None,
+                   help="write one repro-run-v1 file per job here")
+    p.add_argument("--max-batch", type=int, default=8)
+    p.add_argument("--job-timeout", type=float, default=120.0)
+
+    p = sub.add_parser("submit", help="submit one job")
+    _add_socket(p)
+    p.add_argument("--kind", required=True,
+                   help="job kind (jacobi, cg, kali, ...)")
+    p.add_argument("--spec", default="{}",
+                   help="job parameters as a JSON object")
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--no-wait", action="store_true",
+                   help="enqueue and return instead of waiting")
+    p.add_argument("--json", action="store_true", dest="as_json")
+
+    for name, help_ in (("stat", "show server/queue/cache state"),
+                        ("drain", "wait for every queued job"),
+                        ("stop", "shut the server down"),
+                        ("ping", "check the server is answering")):
+        p = sub.add_parser(name, help=help_)
+        _add_socket(p)
+        p.add_argument("--json", action="store_true", dest="as_json")
+
+    return parser
+
+
+def _cmd_start(args) -> int:
+    from repro.serve.server import JobServer
+
+    server = JobServer(
+        nranks=args.nranks,
+        policy=args.policy,
+        cache_dir=args.cache_dir,
+        metrics_dir=args.metrics_dir,
+        max_batch=args.max_batch,
+        job_timeout=args.job_timeout,
+    )
+    print(f"repro.serve: {args.nranks} ranks, policy={args.policy}, "
+          f"cache={args.cache_dir or '(memory only)'}, "
+          f"socket={args.socket}", flush=True)
+    try:
+        server.serve_forever(args.socket)
+    except KeyboardInterrupt:
+        server.close()
+    return 0
+
+
+def _print_record(record: dict) -> None:
+    state = "ok" if record.get("ok") else f"FAILED: {record.get('error')}"
+    print(f"job {record['id']} [{record['kind']}] {state}  "
+          f"wall={record.get('wall_s', 0):.3f}s "
+          f"pool_reused={record.get('pool_reused')} "
+          f"disk_hits={record.get('disk_hits', 0)} "
+          f"inspector_runs={record.get('inspector_runs', 0)}")
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "start":
+        return _cmd_start(args)
+
+    from repro.serve.server import ServeClient
+
+    client = ServeClient(args.socket)
+    if args.command == "submit":
+        response = client.request(
+            "submit", kind=args.kind, spec=json.loads(args.spec),
+            priority=args.priority, wait=not args.no_wait,
+        )
+    else:
+        response = client.request(args.command)
+
+    if getattr(args, "as_json", False):
+        print(json.dumps(response, indent=2))
+    elif args.command == "submit" and "job" in response:
+        _print_record(response["job"])
+    elif args.command == "stat" and response.get("ok"):
+        stat = response["stat"]
+        pool, disk = stat["pool"], stat["disk_cache"]
+        print(f"nranks={stat['nranks']} policy={stat['policy']} "
+              f"queued={stat['queued']} done={stat['jobs_done']} "
+              f"failures={stat['failures']}")
+        print(f"pool: warm={pool['warm']} jobs={pool['jobs_done']} "
+              f"rebuilds={pool['rebuilds']} meshes={pool['meshes_built']}")
+        print(f"disk: dir={disk.get('dir')} entries={disk.get('entries', 0)} "
+              f"bytes={disk.get('bytes', 0)} hits={disk.get('disk_hits', 0)} "
+              f"stores={disk.get('disk_stores', 0)}")
+    else:
+        print(json.dumps(response))
+    return 0 if response.get("ok") else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

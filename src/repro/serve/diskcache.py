@@ -1,0 +1,366 @@
+"""On-disk, content-addressed schedule cache (format ``repro-schedcache-v1``).
+
+The in-memory :class:`~repro.runtime.cache.ScheduleCache` amortizes
+inspector cost over repetitions of a forall *within one process* (paper
+§3.2).  This module is the second tier: inspected schedules persist on
+disk, keyed by **content**, so a restarted server — or a brand-new
+process anywhere on the same machine — re-executes a known forall with
+zero inspector cost.
+
+Cache key
+---------
+A schedule is a deterministic function of everything the inspector read.
+The key is the SHA-256 of a canonical encoding of exactly that:
+
+* the format tag (``repro-schedcache-v1`` — bump to invalidate the world),
+* the forall's label, index bounds, ``on`` clause, and per-read/write
+  descriptors (affine coefficients, table/count names),
+* ``rank`` and ``nranks`` (schedules are per-rank objects),
+* the distribution spec, dtype, and global shape of every referenced
+  array (``repr(ArrayDistribution)`` covers dims, parameters, and the
+  processor grid),
+* the **global content fingerprint of the communication-determining
+  arrays** — the SHA-256 of the whole indirection table / count array,
+  stamped onto every local piece at scatter time
+  (``LocalArray.content_tag``).  Hashing content rather than version
+  counters is what survives restarts: version stamps are process-local,
+  array contents are not.  A version bump that changes the data changes
+  the key (a miss — correct), and one that rewrites identical data
+  re-hits (also correct: the schedule is still valid).  It must be the
+  *global* content — schedules are collective, and per-rank local bytes
+  would let ranks disagree about a hit and diverge,
+* the translation kind (``ranges`` vs ``enumerated`` tables are different
+  artifacts).
+
+Failure semantics
+-----------------
+Loads are corruption-tolerant: a truncated, garbled, or wrong-format
+entry counts as a miss, is deleted, and the caller re-inspects — the
+cache can never poison a result, only fail to accelerate one.  Stores
+are atomic (temp file + ``os.replace``), so concurrent rank processes
+sharing one directory at worst both write the same bytes.  Eviction is
+LRU by file mtime (hits ``utime`` their entry), size-capped by
+``max_bytes``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.arrays.localview import LocalArray
+from repro.core.forall import (
+    AffineRead,
+    Forall,
+    IndirectRead,
+    OnOwner,
+    OnProcessor,
+)
+from repro.runtime.schedule import CommSchedule
+
+SCHEDCACHE_FORMAT = "repro-schedcache-v1"
+
+_ENTRY_SUFFIX = ".sched"
+
+
+def _hash_update_str(h, s: str) -> None:
+    b = s.encode()
+    h.update(struct.pack("<q", len(b)))
+    h.update(b)
+
+
+def _static_digest(forall: Forall) -> "hashlib._Hash":
+    """The forall-only prefix of the content key, memoized on the forall.
+
+    Everything here is a pure function of the (immutable in practice)
+    forall spec — label, bounds, on clause, read/write descriptors — so
+    it is hashed once per forall object and ``copy()``-ed per lookup.
+    The per-rank / per-data suffix is appended by the caller."""
+    h = getattr(forall, "_schedcache_static", None)
+    if h is None:
+        h = hashlib.sha256()
+        _hash_update_str(h, SCHEDCACHE_FORMAT)
+        _hash_update_str(h, forall.label)
+        h.update(struct.pack("<qq", *forall.index_range))
+        _hash_update_str(h, _on_token(forall))
+        for read in forall.reads:
+            if isinstance(read, AffineRead):
+                _hash_update_str(
+                    h, f"affine({read.array},{read.fn.a},{read.fn.b})"
+                )
+            elif isinstance(read, IndirectRead):
+                _hash_update_str(
+                    h, f"indirect({read.array},{read.table},{read.count})"
+                )
+            else:  # pragma: no cover - future read kinds
+                _hash_update_str(h, repr(read))
+        for w in forall.writes:
+            _hash_update_str(h, f"write({w.array})")
+        try:
+            forall._schedcache_static = h
+        except AttributeError:  # pragma: no cover - slotted/frozen foralls
+            pass
+    return h.copy()
+
+
+def _on_token(forall: Forall) -> str:
+    on = forall.on
+    if isinstance(on, OnOwner):
+        return f"owner({on.array},{on.fn.a},{on.fn.b})"
+    if isinstance(on, OnProcessor):
+        # An arbitrary mapping function: identify it by its compiled body
+        # so two structurally different mappings never collide.
+        code = getattr(on.fn, "__code__", None)
+        body = code.co_code.hex() if code is not None else repr(on.fn)
+        return f"proc({body})"
+    return repr(on)  # pragma: no cover - future on-clauses
+
+
+def schedule_content_key(
+    forall: Forall,
+    env: Dict[str, LocalArray],
+    translation: str = "ranges",
+) -> Optional[str]:
+    """The content-addressed key of ``forall``'s schedule on this rank.
+
+    None when the forall references arrays not in scope (the runtime will
+    fail with a better error than a cache ever could), or when any
+    communication-determining array lacks a global ``content_tag`` (e.g.
+    after a redistribute) — the key must be a pure function of data every
+    rank agrees on, so no tag means no disk tier for this lookup.
+    """
+    names = sorted(set(
+        forall.arrays_read() + forall.arrays_written()
+        + ([forall.on.array] if isinstance(forall.on, OnOwner) else [])
+    ))
+    locals_ = []
+    for name in names:
+        local = env.get(name)
+        if local is None:
+            return None
+        locals_.append((name, local))
+    comm_deps = set(forall.comm_dependency_arrays())
+    for name, local in locals_:
+        if name in comm_deps and local.content_tag is None:
+            return None
+
+    h = _static_digest(forall)
+    any_local = locals_[0][1]
+    h.update(struct.pack("<qq", any_local.rank, any_local.dist.procs.size))
+    _hash_update_str(h, translation)
+    for name, local in locals_:
+        _hash_update_str(h, f"array({name})")
+        _hash_update_str(h, repr(local.dist))
+        _hash_update_str(h, str(local.data.dtype))
+        if name in comm_deps:
+            # Global fingerprint, not local bytes: schedules are
+            # collective, and every rank must reach the same hit/miss
+            # verdict or the SPMD ranks diverge (deadlock).
+            _hash_update_str(h, local.content_tag)
+    return h.hexdigest()
+
+
+class DiskScheduleCache:
+    """One directory of content-addressed schedule entries.
+
+    Many rank processes (and many servers) may share a directory; keys
+    embed the rank id, so entries never collide across ranks.  All
+    counters are since-construction totals; the in-memory cache drains
+    them into engine ``Count`` events (see ``ScheduleCache.take_counts``).
+    """
+
+    #: loaded-schedule memo entries kept per instance (LRU)
+    MEMO_CAP = 128
+
+    def __init__(self, path, max_bytes: int = 256 * 1024 * 1024):
+        self.dir = Path(path)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be > 0, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.corrupt = 0
+        # key -> ((mtime_ns, size), schedule): repeat hits skip the
+        # unpickle but never trust stale bytes — the stamp is checked
+        # against the file on every load, so an on-disk rewrite (another
+        # process storing, a corruption) forces the real load path.
+        self._memo: "OrderedDict[str, Tuple[Tuple[int, int], CommSchedule]]" = (
+            OrderedDict()
+        )
+
+    # --- paths -----------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.dir / f"{key}{_ENTRY_SUFFIX}"
+
+    @staticmethod
+    def _stamp(path: Path) -> Optional[Tuple[int, int]]:
+        try:
+            st = path.stat()
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
+
+    def _remember(self, key: str, path: Path, schedule: CommSchedule) -> None:
+        stamp = self._stamp(path)
+        if stamp is None:
+            self._memo.pop(key, None)
+            return
+        self._memo[key] = (stamp, schedule)
+        self._memo.move_to_end(key)
+        while len(self._memo) > self.MEMO_CAP:
+            self._memo.popitem(last=False)
+
+    def entries(self):
+        return sorted(self.dir.glob(f"*{_ENTRY_SUFFIX}"))
+
+    def total_bytes(self) -> int:
+        total = 0
+        for p in self.entries():
+            try:
+                total += p.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    # --- load / store ----------------------------------------------------
+
+    def load(self, key: str) -> Optional[CommSchedule]:
+        """The schedule stored under ``key``, or None.  Anything
+        unreadable — truncated write, garbage, foreign format — is
+        deleted and counted as ``corrupt`` (plus a miss)."""
+        path = self._path(key)
+        memo = self._memo.get(key)
+        if memo is not None:
+            stamp, sched = memo
+            if self._stamp(path) == stamp:
+                self.hits += 1
+                try:
+                    os.utime(path)  # LRU touch
+                except OSError:
+                    pass
+                self._remember(key, path, sched)  # re-stamp after utime
+                return sched
+            self._memo.pop(key, None)  # file changed under us: real load
+        try:
+            with open(path, "rb") as fh:
+                doc = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            self.corrupt += 1
+            self.misses += 1
+            self._unlink(path)
+            return None
+        if (
+            not isinstance(doc, dict)
+            or doc.get("format") != SCHEDCACHE_FORMAT
+            or doc.get("key") != key
+            or not isinstance(doc.get("schedule"), CommSchedule)
+        ):
+            self.corrupt += 1
+            self.misses += 1
+            self._unlink(path)
+            return None
+        self.hits += 1
+        try:
+            os.utime(path)  # LRU touch
+        except OSError:
+            pass
+        self._remember(key, path, doc["schedule"])
+        return doc["schedule"]
+
+    def store(self, key: str, schedule: CommSchedule) -> None:
+        """Atomically persist ``schedule`` under ``key``, then evict
+        oldest entries until the directory fits ``max_bytes``."""
+        doc = {"format": SCHEDCACHE_FORMAT, "key": key, "schedule": schedule}
+        fd, tmp = tempfile.mkstemp(prefix=".tmp-", dir=self.dir)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(doc, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            self._unlink(Path(tmp))
+            raise
+        self.stores += 1
+        self._remember(key, self._path(key), schedule)
+        self._evict_to_cap()
+
+    def _evict_to_cap(self) -> None:
+        total = self.total_bytes()
+        if total <= self.max_bytes:
+            return
+        aged = []
+        for p in self.entries():
+            try:
+                st = p.stat()
+            except OSError:
+                continue
+            aged.append((st.st_mtime, st.st_size, p))
+        aged.sort()
+        for _mtime, size, p in aged:
+            if total <= self.max_bytes:
+                break
+            if self._unlink(p):
+                total -= size
+                self.evictions += 1
+
+    @staticmethod
+    def _unlink(path: Path) -> bool:
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False
+
+    # --- reporting -------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "entries": len(self.entries()),
+            "bytes": self.total_bytes(),
+        }
+
+    def __repr__(self) -> str:
+        return (f"DiskScheduleCache({str(self.dir)!r}, "
+                f"entries={len(self.entries())}, hits={self.hits}, "
+                f"misses={self.misses})")
+
+
+_SHARED: Dict[Tuple[str, int, int], DiskScheduleCache] = {}
+
+
+def shared_disk_cache(path, rank: int,
+                      max_bytes: int = 256 * 1024 * 1024) -> DiskScheduleCache:
+    """The process-wide :class:`DiskScheduleCache` for ``(path, rank)``.
+
+    A warm pool worker builds a fresh ``KaliRank`` per job; reusing one
+    store keeps the loaded-schedule memo warm across jobs, so a repeat
+    hit costs two ``stat`` calls instead of an unpickle.  Keyed per rank
+    because the sim backend runs every rank in one process and each
+    rank's ``ScheduleCache`` drains counter *deltas* — sharing one
+    instance across ranks would bleed one rank's hits into another's
+    counters and break sim/mp differential exactness.  Callers that need
+    an unshared view (tests, ``stat`` reporting) construct
+    :class:`DiskScheduleCache` directly."""
+    cache_key = (os.path.abspath(str(path)), int(rank), int(max_bytes))
+    inst = _SHARED.get(cache_key)
+    if inst is None:
+        inst = _SHARED[cache_key] = DiskScheduleCache(path,
+                                                      max_bytes=max_bytes)
+    return inst

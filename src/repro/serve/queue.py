@@ -1,0 +1,161 @@
+"""Job queue for the serve tier: FIFO / priority scheduling plus futures.
+
+The queue is deliberately dumb about *what* a job is — a :class:`Job`
+carries an opaque ``spec`` and a ``batch_key``; the server decides how to
+execute it.  What the queue owns is ordering (FIFO by submission, or
+highest ``priority`` first with FIFO tie-break), blocking handoff to the
+scheduler thread, and the shape-affinity batching rule: when the head job
+has a non-None ``batch_key``, :meth:`next_batch` may hand over up to
+``max_batch`` *consecutive-in-order* jobs with the same key, so the
+server runs them back-to-back on the warm mesh while every schedule is
+hot in cache.  Batching never reorders: a job with a different key (or no
+key) ends the batch.
+
+:class:`JobFuture` is the submission handle — ``result(timeout)`` blocks
+until the server resolves it, re-raising the job's failure if it had one.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import KaliError
+
+
+class QueueClosed(KaliError):
+    """Raised by submit/pop once the queue has been closed."""
+
+
+class JobFuture:
+    """Write-once result slot shared between submitter and scheduler."""
+
+    def __init__(self):
+        self._done = threading.Event()
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def set_result(self, value: Any) -> None:
+        self._result = value
+        self._done.set()
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._error = exc
+        self._done.set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        if not self._done.wait(timeout):
+            raise TimeoutError("job did not complete in time")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+@dataclass
+class Job:
+    """One unit of serve work.
+
+    ``kind`` names a registered job family (``jacobi``, ``cg``, ...);
+    ``spec`` is its parameters.  ``batch_key`` marks jobs the server may
+    run back-to-back as one batch — by convention the kind plus every
+    shape-determining parameter, so batched jobs share schedules.
+    """
+
+    kind: str
+    spec: Dict[str, Any] = field(default_factory=dict)
+    priority: int = 0
+    batch_key: Optional[str] = None
+    job_id: int = 0
+    future: JobFuture = field(default_factory=JobFuture)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "id": self.job_id,
+            "kind": self.kind,
+            "priority": self.priority,
+            "batch_key": self.batch_key,
+            "spec": self.spec,
+        }
+
+
+class JobQueue:
+    """Thread-safe job queue with ``fifo`` or ``priority`` policy."""
+
+    def __init__(self, policy: str = "fifo"):
+        if policy not in ("fifo", "priority"):
+            raise KaliError(
+                f"unknown queue policy {policy!r} "
+                "(expected 'fifo' or 'priority')"
+            )
+        self.policy = policy
+        self._heap: List = []
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._seq = itertools.count(1)
+        self._closed = False
+        self.submitted = 0
+
+    def _sort_key(self, job: Job) -> int:
+        # FIFO ignores priority entirely; priority mode schedules the
+        # highest number first (heapq is a min-heap, hence the negation).
+        return -job.priority if self.policy == "priority" else 0
+
+    def submit(self, job: Job) -> JobFuture:
+        with self._lock:
+            if self._closed:
+                raise QueueClosed("queue is closed to new submissions")
+            job.job_id = next(self._seq)
+            heapq.heappush(self._heap, (self._sort_key(job), job.job_id, job))
+            self.submitted += 1
+            self._not_empty.notify()
+        return job.future
+
+    def next_batch(self, max_batch: int = 1,
+                   timeout: Optional[float] = None) -> List[Job]:
+        """Block for the next job; return it plus up to ``max_batch - 1``
+        same-``batch_key`` successors.  Empty list on timeout, or when the
+        queue was closed and drained."""
+        with self._lock:
+            deadline = None
+            while not self._heap:
+                if self._closed:
+                    return []
+                if not self._not_empty.wait(timeout):
+                    return []
+                deadline = 0  # woke once; don't re-wait the full timeout
+                timeout = deadline
+            batch = [heapq.heappop(self._heap)[2]]
+            key = batch[0].batch_key
+            while (
+                key is not None
+                and len(batch) < max_batch
+                and self._heap
+                and self._heap[0][2].batch_key == key
+            ):
+                batch.append(heapq.heappop(self._heap)[2])
+            return batch
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Queued jobs in scheduling order (for ``stat``)."""
+        with self._lock:
+            return [job.describe() for _, _, job in sorted(self._heap)]
+
+    def close(self) -> None:
+        """Refuse new submissions and wake any blocked consumer."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

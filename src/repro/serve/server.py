@@ -1,0 +1,496 @@
+"""The job server: warm rank pool + job queue + unix-socket front end.
+
+A :class:`JobServer` owns one :class:`~repro.serve.pool.RankPool` (all
+jobs share its world size), one :class:`~repro.serve.queue.JobQueue`, and
+a directory for the persistent schedule-cache tier.  A scheduler thread
+pulls batches off the queue and executes them back-to-back on the warm
+mesh; identical-spec jobs batch together (same ``batch_key``), so the
+second and later jobs of a batch re-execute with every schedule hot.
+
+Job kinds are a registry: ``jacobi`` and ``cg`` run the paper's two
+workloads from shape parameters; ``kali`` compiles and runs Kali source
+shipped in the spec.  :func:`register_job_kind` adds more.
+
+The socket front speaks JSON-lines over a unix socket — one request
+object per line, one response per line — with commands ``ping``,
+``submit`` (optionally waiting for the result record), ``stat``,
+``drain``, and ``stop``.  ``python -m repro.serve`` is the CLI over it.
+
+Failure semantics: a failing job resolves *its* future with the error and
+condemns the pool mesh (next job triggers a rebuild — that is the crash
+replacement path); the server itself keeps serving.  ``drain`` completes
+queued work without accepting more; ``stop`` drains nothing and tears the
+pool down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import socket
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import KaliError
+from repro.machine.cost import MachineModel, NCUBE7
+from repro.machine.stats import RunResult
+from repro.obs.registry import MetricsRegistry, write_run_json
+from repro.serve.pool import RankPool
+from repro.serve.queue import Job, JobFuture, JobQueue
+
+# --- job kinds -------------------------------------------------------------
+
+JobRunner = Callable[["JobServer", Dict[str, Any]], Tuple[RunResult, Dict]]
+
+JOB_KINDS: Dict[str, JobRunner] = {}
+
+
+def register_job_kind(name: str, runner: JobRunner) -> None:
+    """Register (or replace) a job family; the runner receives the server
+    and the job spec and returns ``(engine RunResult, summary dict)``."""
+    JOB_KINDS[name] = runner
+
+
+def _sha256(arr: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()
+
+
+def _jsonable(value):
+    """Numpy scalars/arrays → plain Python, recursively."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def _run_jacobi(server: "JobServer", spec: Dict) -> Tuple[RunResult, Dict]:
+    from repro.apps.jacobi import build_jacobi
+    from repro.meshes.regular import five_point_grid
+
+    rows = int(spec.get("rows", 16))
+    cols = int(spec.get("cols", rows))
+    sweeps = int(spec.get("sweeps", 10))
+    seed = int(spec.get("seed", 12345))
+    mesh = five_point_grid(rows, cols)
+    init = np.random.default_rng(seed).random(mesh.n)
+    prog = build_jacobi(
+        mesh, server.nranks, machine=server.machine, initial=init,
+        pool=server.pool, schedule_cache_dir=server.cache_dir,
+    )
+    result = prog.run(sweeps)
+    summary = {
+        "n": mesh.n, "sweeps": sweeps,
+        "solution_sha256": _sha256(prog.solution),
+    }
+    return result.engine, summary
+
+
+def _run_cg(server: "JobServer", spec: Dict) -> Tuple[RunResult, Dict]:
+    from repro.apps.cg import CGSolver
+    from repro.meshes.regular import five_point_grid
+
+    rows = int(spec.get("rows", 10))
+    cols = int(spec.get("cols", rows))
+    max_iter = int(spec.get("max_iter", 100))
+    tol = float(spec.get("tol", 1e-8))
+    seed = int(spec.get("seed", 12345))
+    mesh = five_point_grid(rows, cols)
+    b = np.random.default_rng(seed).random(mesh.n)
+    solver = CGSolver(
+        mesh, server.nranks, machine=server.machine,
+        pool=server.pool, schedule_cache_dir=server.cache_dir,
+    )
+    r = solver.solve(b, tol=tol, max_iter=max_iter)
+    summary = {
+        "n": mesh.n, "iterations": r.iterations,
+        "residual": float(r.residual),
+        "solution_sha256": _sha256(r.solution),
+    }
+    return r.timing.engine, summary
+
+
+def _run_kali(server: "JobServer", spec: Dict) -> Tuple[RunResult, Dict]:
+    from repro.lang.interp import compile_kali
+
+    source = spec.get("source")
+    if not isinstance(source, str):
+        raise KaliError("kali jobs need a 'source' string in the spec")
+    inputs = {
+        name: np.asarray(values)
+        for name, values in (spec.get("inputs") or {}).items()
+    }
+    res = compile_kali(source).run(
+        server.nranks, machine=server.machine, inputs=inputs,
+        consts=spec.get("consts") or None,
+        pool=server.pool, schedule_cache_dir=server.cache_dir,
+    )
+    summary = {
+        "scalars": _jsonable(res.scalars),
+        "output": list(res.output),
+        "arrays_sha256": {n: _sha256(a) for n, a in sorted(res.arrays.items())},
+    }
+    return res.timing.engine, summary
+
+
+register_job_kind("jacobi", _run_jacobi)
+register_job_kind("cg", _run_cg)
+register_job_kind("kali", _run_kali)
+
+_DISK_COUNTERS = (
+    "schedule_cache_disk_hits",
+    "schedule_cache_disk_misses",
+    "schedule_cache_disk_stores",
+    "schedule_cache_disk_evictions",
+    "schedule_cache_disk_corrupt",
+)
+
+
+# --- the server ------------------------------------------------------------
+
+
+class JobServer:
+    """One warm pool serving a queue of jobs.
+
+    Parameters
+    ----------
+    nranks:
+        World size of the pool (and of every job).
+    policy:
+        Queue policy, ``fifo`` or ``priority``.
+    cache_dir:
+        Directory of the persistent schedule-cache tier (None disables
+        the disk tier; the in-memory tier still works within each job).
+    metrics_dir:
+        When set, every job writes a ``repro-run-v1`` file
+        ``job-<id>.json`` there, with serve provenance in ``meta``.
+    max_batch:
+        Upper bound on how many identical-``batch_key`` jobs one queue
+        pull may run back-to-back.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        policy: str = "fifo",
+        cache_dir: Optional[str] = None,
+        metrics_dir: Optional[str] = None,
+        machine: MachineModel = NCUBE7,
+        max_batch: int = 8,
+        job_timeout: float = 120.0,
+    ):
+        if max_batch < 1:
+            raise KaliError(f"max_batch must be >= 1, got {max_batch}")
+        self.nranks = nranks
+        self.machine = machine
+        self.cache_dir = cache_dir
+        self.metrics_dir = metrics_dir
+        self.max_batch = max_batch
+        self.pool = RankPool(nranks, timeout=job_timeout)
+        self.queue = JobQueue(policy)
+        self.records: List[Dict] = []
+        self.failures = 0
+        self._lock = threading.Lock()
+        self._busy = False
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._sock: Optional[socket.socket] = None
+        self._started_at = time.monotonic()
+        if metrics_dir:
+            os.makedirs(metrics_dir, exist_ok=True)
+
+    # --- lifecycle -------------------------------------------------------
+
+    def start(self) -> "JobServer":
+        """Start the scheduler thread (the pool forks on first job)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._scheduler_loop, name="repro-serve-scheduler",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop scheduling and tear the pool down (idempotent).  Queued
+        jobs that never ran resolve with an error."""
+        self._stop.set()
+        self.queue.close()
+        if self._thread is not None:
+            self._thread.join(30.0)
+            self._thread = None
+        while True:
+            batch = self.queue.next_batch(self.max_batch, timeout=0.0)
+            if not batch:
+                break
+            for job in batch:
+                job.future.set_exception(KaliError("server closed"))
+        self.pool.close()
+
+    def __enter__(self) -> "JobServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # --- submission ------------------------------------------------------
+
+    def submit(self, kind: str, spec: Optional[Dict] = None,
+               priority: int = 0) -> JobFuture:
+        """Queue one job; the future resolves with its record dict."""
+        if kind not in JOB_KINDS:
+            raise KaliError(
+                f"unknown job kind {kind!r} "
+                f"(registered: {', '.join(sorted(JOB_KINDS))})"
+            )
+        spec = dict(spec or {})
+        # Identical-spec jobs share shapes and indirection data, so they
+        # may batch back-to-back on the warm mesh.
+        batch_key = f"{kind}:{json.dumps(spec, sort_keys=True, default=str)}"
+        job = Job(kind=kind, spec=spec, priority=priority,
+                  batch_key=batch_key)
+        return self.queue.submit(job)
+
+    def drain(self, timeout: Optional[float] = None) -> int:
+        """Block until every queued job has run; returns jobs completed.
+        The queue stays open (``drain`` is a checkpoint, not shutdown)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                idle = not self._busy and self.queue.pending() == 0
+            if idle:
+                return len(self.records)
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"drain: {self.queue.pending()} jobs still queued"
+                )
+            time.sleep(0.01)
+
+    # --- scheduling ------------------------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        while not self._stop.is_set():
+            batch = self.queue.next_batch(self.max_batch, timeout=0.2)
+            if not batch:
+                if self.queue.closed:
+                    return
+                continue
+            with self._lock:
+                self._busy = True
+            try:
+                for i, job in enumerate(batch):
+                    record = self._execute(job, batch_size=len(batch),
+                                           batch_index=i)
+                    job.future.set_result(record)
+            finally:
+                with self._lock:
+                    self._busy = False
+
+    def _execute(self, job: Job, batch_size: int, batch_index: int) -> Dict:
+        runner = JOB_KINDS[job.kind]
+        t0 = time.monotonic()
+        record: Dict[str, Any] = {
+            "id": job.job_id,
+            "kind": job.kind,
+            "spec": job.spec,
+            "backend": "pool",
+            "batch_size": batch_size,
+            "batch_index": batch_index,
+        }
+        try:
+            result, summary = runner(self, job.spec)
+        except Exception as exc:
+            record.update(
+                ok=False,
+                error=f"{type(exc).__name__}: {exc}",
+                wall_s=time.monotonic() - t0,
+                pool_reused=self.pool.last_pool_reused,
+            )
+            self.failures += 1
+            with self._lock:
+                self.records.append(record)
+            return record
+        record.update(
+            ok=True,
+            wall_s=time.monotonic() - t0,
+            pool_reused=self.pool.last_pool_reused,
+            summary=summary,
+            inspector_runs=result.counter_sum("inspector_runs"),
+        )
+        for name in _DISK_COUNTERS:
+            record[name.replace("schedule_cache_", "")] = (
+                result.counter_sum(name)
+            )
+        if self.metrics_dir:
+            record["metrics_file"] = self._write_metrics(job, record, result)
+        with self._lock:
+            self.records.append(record)
+        return record
+
+    def _write_metrics(self, job: Job, record: Dict,
+                       result: RunResult) -> str:
+        """One ``repro-run-v1`` file per job, with serve provenance in
+        meta and the serve scalars folded into the metrics registry."""
+        meta = {
+            "source": "repro.serve",
+            "backend": "pool",
+            "job_id": job.job_id,
+            "kind": job.kind,
+            "workload": _jsonable(job.spec),
+            "pool_reused": record["pool_reused"],
+            "batch_size": record["batch_size"],
+        }
+        path = os.path.join(self.metrics_dir, f"job-{job.job_id}.json")
+        write_run_json(result, path, meta=meta)
+        registry = MetricsRegistry.from_run(result, extra={
+            "serve.pool_reused": int(record["pool_reused"]),
+            "serve.wall_s": record["wall_s"],
+            "serve.batch_size": record["batch_size"],
+        })
+        with open(os.path.join(self.metrics_dir,
+                               f"job-{job.job_id}-metrics.json"), "w") as fh:
+            fh.write(registry.to_json(indent=2))
+        return path
+
+    # --- introspection ---------------------------------------------------
+
+    def stat(self) -> Dict[str, Any]:
+        with self._lock:
+            records = list(self.records)
+            busy = self._busy
+        done = [r for r in records if r.get("ok")]
+        disk: Dict[str, Any] = {"dir": self.cache_dir}
+        if self.cache_dir is not None:
+            from repro.serve.diskcache import DiskScheduleCache
+
+            store = DiskScheduleCache(self.cache_dir)
+            disk.update(entries=len(store.entries()),
+                        bytes=store.total_bytes())
+            for name in _DISK_COUNTERS:
+                short = name.replace("schedule_cache_", "")
+                disk[short] = sum(r.get(short, 0) for r in done)
+        return {
+            "nranks": self.nranks,
+            "policy": self.queue.policy,
+            "uptime_s": time.monotonic() - self._started_at,
+            "busy": busy,
+            "queued": self.queue.pending(),
+            "queue_snapshot": self.queue.snapshot(),
+            "jobs_done": len(done),
+            "failures": self.failures,
+            "pool": {
+                "warm": self.pool.started,
+                "jobs_done": self.pool.jobs_done,
+                "rebuilds": self.pool.rebuilds,
+                "meshes_built": self.pool.meshes_built,
+            },
+            "disk_cache": disk,
+        }
+
+    # --- the unix-socket front -------------------------------------------
+
+    def serve_forever(self, socket_path: str) -> None:
+        """Accept JSON-lines clients on ``socket_path`` until a ``stop``
+        request (or :meth:`close`).  Blocks; run the scheduler first via
+        :meth:`start`."""
+        self.start()
+        try:
+            os.unlink(socket_path)
+        except FileNotFoundError:
+            pass
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(socket_path)
+        sock.listen(16)
+        sock.settimeout(0.25)
+        self._sock = sock
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, _ = sock.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                threading.Thread(
+                    target=self._serve_client, args=(conn,), daemon=True,
+                ).start()
+        finally:
+            sock.close()
+            self._sock = None
+            try:
+                os.unlink(socket_path)
+            except OSError:
+                pass
+            self.close()
+
+    def _serve_client(self, conn: socket.socket) -> None:
+        with conn, conn.makefile("rw", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    response = self._handle(json.loads(line))
+                except Exception as exc:
+                    response = {"ok": False,
+                                "error": f"{type(exc).__name__}: {exc}"}
+                try:
+                    fh.write(json.dumps(_jsonable(response)) + "\n")
+                    fh.flush()
+                except (BrokenPipeError, OSError):
+                    return
+                if response.get("stopping"):
+                    return
+
+    def _handle(self, req: Dict) -> Dict:
+        cmd = req.get("cmd")
+        if cmd == "ping":
+            return {"ok": True, "pid": os.getpid(), "nranks": self.nranks}
+        if cmd == "submit":
+            future = self.submit(req["kind"], req.get("spec"),
+                                 priority=int(req.get("priority", 0)))
+            if not req.get("wait", True):
+                return {"ok": True, "queued": True}
+            record = future.result(timeout=req.get("timeout"))
+            return {"ok": bool(record.get("ok")), "job": record}
+        if cmd == "stat":
+            return {"ok": True, "stat": self.stat()}
+        if cmd == "drain":
+            done = self.drain(timeout=req.get("timeout"))
+            return {"ok": True, "jobs_done": done}
+        if cmd == "stop":
+            self._stop.set()  # accept loop exits and closes everything
+            return {"ok": True, "stopping": True}
+        return {"ok": False, "error": f"unknown command {cmd!r}"}
+
+
+# --- the client ------------------------------------------------------------
+
+
+class ServeClient:
+    """Minimal JSON-lines client for the unix-socket front."""
+
+    def __init__(self, socket_path: str, timeout: float = 300.0):
+        self.socket_path = socket_path
+        self.timeout = timeout
+
+    def request(self, cmd: str, **fields) -> Dict:
+        req = {"cmd": cmd, **fields}
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+            with sock.makefile("rw", encoding="utf-8") as fh:
+                fh.write(json.dumps(req) + "\n")
+                fh.flush()
+                line = fh.readline()
+        if not line:
+            raise KaliError("server closed the connection without replying")
+        return json.loads(line)

@@ -1,14 +1,21 @@
 #!/usr/bin/env python
-"""Dynamic load balancing via run-time redistribution (paper §6).
+"""Dynamic load balancing via the adaptive layout tuner (paper §6).
 
 The paper closes: "We also plan to look at more complex example programs,
 including those requiring dynamic load balancing."  This example builds
-that future: an unstructured-mesh Jacobi solver that *starts* with a poor
-decomposition (block by node id), measures its per-sweep cost, then
-**redistributes every array to an RCB partition mid-run** — the cached
-communication schedules invalidate automatically, the inspector re-runs
-once under the new layout, and the remaining sweeps run faster because
-far fewer mesh edges cross processor boundaries.
+that future: an unstructured-mesh Jacobi solver *starts* with a poor
+decomposition (block over shuffled node ids) and hands the sweep loop to
+:class:`repro.tune.AdaptiveRunner`.  Every few sweeps the tuner tallies
+the communication each candidate layout would cost, allreduces the
+evidence, and — once the predicted win amortizes the data motion plus
+re-inspection — redistributes all five arrays to the RCB partition
+mid-run.  The cached schedules invalidate automatically, the inspector
+re-runs once under the new layout, and the remaining sweeps run faster
+because far fewer mesh edges cross processor boundaries.
+
+Earlier revisions of this example hand-rolled the measure → decide →
+redistribute loop; the tuner now is that loop, and this example asserts
+it rediscovers the same RCB-beats-block verdict on its own.
 
 Run:  python examples/dynamic_load_balance.py
 """
@@ -16,16 +23,15 @@ Run:  python examples/dynamic_load_balance.py
 import numpy as np
 
 from repro.apps.jacobi import build_jacobi
-from repro.distributions import Custom
 from repro.machine.cost import NCUBE7
 from repro.meshes.partition import coordinate_bisection, edge_cut
 from repro.meshes.regular import reference_sweep
 from repro.meshes.unstructured import random_unstructured_mesh
+from repro.tune import AdaptiveRunner, TunePolicy, TuneSpec
 
 NODES = 3000
 P = 16
-SWEEPS_BEFORE = 10
-SWEEPS_AFTER = 10
+SWEEPS = 40
 
 
 def main() -> None:
@@ -43,56 +49,47 @@ def main() -> None:
     print()
 
     prog = build_jacobi(mesh, P, machine=NCUBE7, initial=init)
-    copy_loop, relax_loop = prog.copy_loop, prog.relax_loop
-    timings = {}
+    runner = AdaptiveRunner(
+        TuneSpec(arrays=("a", "old_a", "count", "adj", "coef"),
+                 table="adj", count="count", points=points),
+        TunePolicy(interval=4, warmup=4, max_moves=2),
+    )
+    res = runner.run(prog.ctx, [prog.copy_loop, prog.relax_loop], SWEEPS)
+    report = res.tune_report
 
-    def program(kr):
-        # one warm-up sweep absorbs the initial inspector run
-        yield from kr.forall(copy_loop)
-        yield from kr.forall(relax_loop)
-        t0 = yield from kr.now()
-        for _ in range(SWEEPS_BEFORE):
-            yield from kr.forall(copy_loop)
-            yield from kr.forall(relax_loop)
-        t1 = yield from kr.now()
-
-        # --- the rebalance: move all five arrays to the RCB layout, then
-        # one sweep that triggers the re-inspection under the new layout
-        for name in ("a", "old_a", "count", "adj", "coef"):
-            yield from kr.redistribute(name, Custom(rcb_owners))
-        yield from kr.forall(copy_loop)
-        yield from kr.forall(relax_loop)
-        t2 = yield from kr.now()
-
-        for _ in range(SWEEPS_AFTER):
-            yield from kr.forall(copy_loop)
-            yield from kr.forall(relax_loop)
-        t3 = yield from kr.now()
-        if kr.id == 0:
-            timings.update(before=t1 - t0, rebalance=t2 - t1, after=t3 - t2)
-
-    res = prog.ctx.run(program)
-
-    # Verify numerics against the sequential oracle (+2 warm/transition
-    # sweeps).
+    # Verify numerics against the sequential oracle: redistribution moves
+    # data, it never changes it, so the tuned run must match exactly.
     ref = init.copy()
-    for _ in range(SWEEPS_BEFORE + SWEEPS_AFTER + 2):
+    for _ in range(SWEEPS):
         ref = reference_sweep(mesh, ref)
     assert np.allclose(prog.solution, ref), "solution must match oracle"
 
-    per_before = timings["before"] / SWEEPS_BEFORE
-    per_after = timings["after"] / SWEEPS_AFTER
-    print(f"per-sweep virtual time before rebalance: {per_before * 1e3:8.1f} ms")
-    print(f"rebalance one-off (data motion + re-inspection + 1 sweep): "
-          f"{timings['rebalance'] * 1e3:.1f} ms")
-    print(f"per-sweep virtual time after rebalance:  {per_after * 1e3:8.1f} ms")
-    speedup = per_before / per_after
-    payoff = timings["rebalance"] / (per_before - per_after)
-    print(f"\nrebalancing speeds sweeps up {speedup:.2f}x; the move pays for "
-          f"itself after {payoff:.1f} sweeps.")
+    # The tuner should rediscover on its own what the hand-rolled version
+    # of this example asserted by construction: one move, to RCB.
+    assert report["moves"] == 1, report["events"]
+    assert report["layout"]["kind"] == "custom", report["layout"]
+    assert np.array_equal(report["layout"]["owners"], rcb_owners), \
+        "tuner should land on the RCB partition"
+
+    for ev in report["events"]:
+        mark = "MOVE ->" if ev["moved"] else "stay   "
+        print(f"sweep {ev['sweep']:3d}: {mark} {ev['best']:<10s} "
+              f"predicted gain {ev['gain_per_sweep'] * 1e3:7.2f} ms/sweep, "
+              f"move cost {ev['move_cost'] * 1e3:7.1f} ms  [{ev['reason']}]")
+    print()
+
+    move_sweep = next(e["sweep"] for e in report["events"] if e["moved"])
+    times = report["sweep_times"]
+    before = times[:move_sweep - 1]              # bad layout, warm schedules
+    after = times[move_sweep:]                   # RCB, re-inspection absorbed
+    per_before = float(np.mean(before[1:]))      # drop the inspector sweep
+    per_after = float(np.mean(after[1:]))
+    print(f"per-sweep virtual time before the move: {per_before * 1e3:8.1f} ms")
+    print(f"per-sweep virtual time after the move:  {per_after * 1e3:8.1f} ms")
+    print(f"\nthe tuner's move speeds sweeps up {per_before / per_after:.2f}x.")
     stats = res.cache_stats()
     print(f"schedule cache: {stats['hits']} hits, {stats['misses']} misses, "
-          f"{stats['invalidations']} invalidations (the redistributes)")
+          f"{stats['invalidations']} invalidations (the tuner's moves)")
 
 
 if __name__ == "__main__":

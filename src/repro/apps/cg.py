@@ -98,6 +98,7 @@ class CGSolver:
         mp_timeout: float = 120.0,
         pool=None,
         schedule_cache_dir: Optional[str] = None,
+        tune=None,
     ):
         self.mesh = mesh
         n = mesh.n
@@ -107,7 +108,8 @@ class CGSolver:
 
         ctx = KaliContext(nprocs, machine=machine, faults=faults, trace=trace,
                           backend=backend, mp_timeout=mp_timeout,
-                          pool=pool, schedule_cache_dir=schedule_cache_dir)
+                          pool=pool, schedule_cache_dir=schedule_cache_dir,
+                          tune=tune)
         self.ctx = ctx
         for name in ("x", "r", "p", "q", "b"):
             ctx.array(name, n, dist=[dist._clone()])

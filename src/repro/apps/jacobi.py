@@ -114,6 +114,7 @@ def build_jacobi(
     mp_timeout: float = 120.0,
     pool=None,
     schedule_cache_dir: Optional[str] = None,
+    tune=None,
 ) -> JacobiProgram:
     """Declare the Figure 4 arrays and foralls on a fresh context.
 
@@ -135,6 +136,7 @@ def build_jacobi(
         mp_timeout=mp_timeout,
         pool=pool,
         schedule_cache_dir=schedule_cache_dir,
+        tune=tune,
     )
     n, width = mesh.n, mesh.width
 

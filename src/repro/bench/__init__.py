@@ -9,6 +9,7 @@ from repro.bench import calibration
 from repro.bench.experiments import (
     ExperimentRow,
     AblationRow,
+    adaptive_vs_static,
     caching_ablation,
     distribution_ablation,
     drop_rate_experiment,
@@ -33,6 +34,7 @@ __all__ = [
     "calibration",
     "ExperimentRow",
     "AblationRow",
+    "adaptive_vs_static",
     "processor_scaling",
     "size_scaling",
     "single_sweep_overhead",

@@ -24,6 +24,7 @@ import time
 
 from repro.bench import calibration as cal
 from repro.bench import (
+    adaptive_vs_static,
     caching_ablation,
     distribution_ablation,
     drop_rate_experiment,
@@ -166,6 +167,81 @@ def _main_serve(args) -> int:
     return 0
 
 
+def _main_tune(args) -> int:
+    """The ``--tune`` suite: adaptive tuner vs static layouts, gated."""
+    from repro.obs.registry import MetricsRegistry, write_run_json
+
+    t0 = time.time()
+    nprocs = 4 if args.fast else 8
+    nodes = 400 if args.fast else 600
+    sweeps = 16
+    rows, runs = adaptive_vs_static(NCUBE7, nprocs=nprocs, nodes=nodes,
+                                    sweeps=sweeps)
+
+    print(ablation_table(
+        f"T1  adaptive layout tuning (repro.tune), {nodes}-node shuffled "
+        f"mesh, P={nprocs}, {sweeps} sweeps — virtual seconds",
+        rows,
+        ["makespan", "steady_sweep", "moves", "decisions", "identical"],
+        key_header="regime",
+    ))
+    print()
+
+    by_key = {r.key: r.values for r in rows}
+    adaptive = by_key["adaptive"]
+    static_rcb = by_key["static-rcb"]
+    static_bad = by_key["static-bad"]
+    ratio = adaptive["steady_sweep"] / static_rcb["steady_sweep"]
+    print(f"[adaptive steady-state sweep vs static-rcb: {ratio:.3f}x "
+          f"after {adaptive['moves']:g} move(s)]")
+
+    # The acceptance gate: the tuner must land within 15% of the static
+    # oracle's steady-state sweep cost, strictly beat the layout it was
+    # handed, move at most twice, and never perturb the answer.
+    failures = []
+    if ratio > 1.15:
+        failures.append(f"steady-state sweep {ratio:.3f}x static-rcb (>1.15)")
+    if adaptive["steady_sweep"] >= static_bad["steady_sweep"]:
+        failures.append("adaptive did not beat static-bad steady state")
+    if adaptive["moves"] > 2:
+        failures.append(f"{adaptive['moves']:g} moves (> 2)")
+    if any(r.values["identical"] != 1.0 for r in rows):
+        failures.append("final arrays diverged across regimes")
+    for msg in failures:
+        print(f"[FAIL: {msg}]")
+
+    if args.metrics_dir:
+        metrics_dir = pathlib.Path(args.metrics_dir)
+        metrics_dir.mkdir(parents=True, exist_ok=True)
+        for regime, engine_result in runs.items():
+            slug = regime.replace("-", "_")
+            run_path = metrics_dir / f"T1_tune_{slug}.run.json"
+            write_run_json(engine_result, str(run_path), meta={
+                "workload": "jacobi-adaptive",
+                "regime": regime,
+                "machine": NCUBE7.name,
+                "nodes": nodes,
+                "nprocs": nprocs,
+                "sweeps": sweeps,
+            })
+            reg = MetricsRegistry.from_run(engine_result, extra={
+                f"tune.{k}": v for k, v in by_key[regime].items()
+            })
+            metrics_path = metrics_dir / f"T1_tune_{slug}.metrics.json"
+            metrics_path.write_text(reg.to_json(indent=2) + "\n")
+            print(f"[run file written to {run_path}]")
+        doc = {
+            "experiment": "T1_adaptive_vs_static",
+            "fast": args.fast,
+            "rows": _rows_to_jsonable(rows),
+        }
+        (metrics_dir / "T1_adaptive_vs_static.metrics.json").write_text(
+            json.dumps(doc, indent=2) + "\n"
+        )
+    print(f"\n[tune suite done in {time.time() - t0:.1f}s wall]")
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fast", action="store_true", help="small meshes only")
@@ -179,8 +255,13 @@ def main(argv=None) -> int:
     ap.add_argument("--serve", action="store_true",
                     help="run the serve-tier throughput suite (S1) instead "
                          "of the paper tables")
+    ap.add_argument("--tune", action="store_true",
+                    help="run the adaptive layout-tuning suite (T1) instead "
+                         "of the paper tables")
     args = ap.parse_args(argv)
 
+    if args.tune:
+        return _main_tune(args)
     if args.serve:
         return _main_serve(args)
     if args.backend == "mp":

@@ -314,6 +314,7 @@ class KaliContext:
         pool=None,
         schedule_cache_dir: Optional[str] = None,
         disk_cache_bytes: int = 256 * 1024 * 1024,
+        tune=None,
     ):
         self.procs = procs or ProcessorArray(nprocs)
         if self.procs.size != nprocs:
@@ -356,6 +357,14 @@ class KaliContext:
         self.combine_messages = combine_messages
         self.trace = trace
         self.faults = faults
+        #: opt-in learned-layout store: a directory path or a
+        #: :class:`repro.tune.store.PlanStore` (None disables tuning)
+        self.tune = tune
+        self._tune_store = None
+        self._tune_fp: Optional[str] = None
+        self._tune_checked = False
+        #: True once a stored plan re-laid-out this context's arrays
+        self.tune_applied = False
         self.arrays: Dict[str, DistributedArray] = {}
 
     def __getstate__(self):
@@ -383,6 +392,62 @@ class KaliContext:
         self.arrays[name] = darr
         return darr
 
+    # --- learned layout plans (repro.tune) ---------------------------------
+
+    @property
+    def tune_store(self):
+        """The :class:`~repro.tune.store.PlanStore` of the ``tune=`` knob
+        (built lazily from a path), or None when tuning is off."""
+        if self.tune is None:
+            return None
+        if self._tune_store is None:
+            if hasattr(self.tune, "load"):
+                self._tune_store = self.tune
+            else:
+                from repro.tune.store import PlanStore
+
+                self._tune_store = PlanStore(self.tune)
+        return self._tune_store
+
+    def tune_fingerprint(self) -> str:
+        """This context's content-addressed plan key, memoized on first
+        use — which :meth:`run` arranges to happen *before* any learned
+        layout is applied, so repeat jobs hash to the original key."""
+        if self._tune_fp is None:
+            from repro.tune.store import context_fingerprint
+
+            self._tune_fp = context_fingerprint(self)
+        return self._tune_fp
+
+    def _maybe_apply_tune(self) -> None:
+        """Warm start: install the stored plan for this fingerprint, once."""
+        store = self.tune_store
+        if store is None or self._tune_checked:
+            return
+        self._tune_checked = True
+        plan = store.load(self.tune_fingerprint())
+        if plan is not None:
+            from repro.tune.store import apply_plan
+
+            if apply_plan(self, plan):
+                self.tune_applied = True
+
+    def store_tuned_layout(self, arrays: List[str], layout: Dict,
+                           meta: Optional[Dict] = None) -> Optional[str]:
+        """Persist a winning layout for this context's fingerprint.
+
+        Called by :class:`repro.tune.AdaptiveRunner` after a run that
+        moved; a no-op without a ``tune=`` store.  Returns the plan key.
+        """
+        store = self.tune_store
+        if store is None:
+            return None
+        from repro.tune.store import plan_from_layouts
+
+        key = self.tune_fingerprint()
+        store.store(key, plan_from_layouts(arrays, layout, key=key, meta=meta))
+        return key
+
     # --- execution ------------------------------------------------------------
 
     def run(self, program: Callable[[KaliRank], Generator]) -> KaliRunResult:
@@ -396,6 +461,7 @@ class KaliContext:
         gathered back afterwards, so driver-side code sees the updated
         global arrays on either backend.
         """
+        self._maybe_apply_tune()
         kranks: List[Optional[KaliRank]] = [None] * self.procs.size
         cache_enabled = self.cache_enabled
         force_strategy = self.force_strategy

@@ -123,6 +123,7 @@ class CompiledKali:
         backend: str = "sim",
         pool=None,
         schedule_cache_dir: Optional[str] = None,
+        tune=None,
     ) -> KaliLangResult:
         consts = dict(consts or {})
         inputs = dict(inputs or {})
@@ -170,6 +171,7 @@ class CompiledKali:
             backend=backend,
             pool=pool,
             schedule_cache_dir=schedule_cache_dir,
+            tune=tune,
         )
         array_infos: Dict[str, ArrayInfo] = {}
         for decl in self.program.decls:

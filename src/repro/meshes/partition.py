@@ -23,33 +23,50 @@ def block_partition(n: int, nprocs: int) -> np.ndarray:
 def coordinate_bisection(points: np.ndarray, nprocs: int) -> np.ndarray:
     """Recursive coordinate bisection of 2-d points into ``nprocs`` parts.
 
-    Splits the widest coordinate direction at the weighted median,
-    dividing processors (and hence load) proportionally; handles
-    non-power-of-two processor counts.  Returns an owner map usable with
+    Splits the widest coordinate direction, dividing processors (and
+    hence load) proportionally; handles non-power-of-two processor
+    counts.  Returns an owner map usable with
     :class:`repro.distributions.custom.Custom`.
+
+    Part sizes are apportioned *exactly*: processor ``p`` receives
+    ``n // nprocs`` points plus one of the ``n % nprocs`` leftovers, and
+    every recursion level cuts at the exact prefix sum of its target
+    sizes (rounding a fraction per level lets errors compound into
+    lopsided or empty parts).  Duplicate points are split positionally by
+    the stable sort, so a plane of coincident coordinates never collapses
+    onto one processor.  The map is always total and balanced to within
+    one point — including ``nprocs > n``, where the trailing parts are
+    legitimately empty.
     """
     points = np.asarray(points, dtype=float)
     if points.ndim != 2 or points.shape[1] != 2:
         raise ValueError("points must be (n, 2)")
     if nprocs < 1:
         raise ValueError("need at least one processor")
-    owners = np.zeros(points.shape[0], dtype=np.int64)
+    n = points.shape[0]
+    owners = np.empty(n, dtype=np.int64)
+    base, extra = divmod(n, nprocs)
+
+    def target(first_proc: int, count: int) -> int:
+        """Exact total size of parts [first_proc, first_proc + count)."""
+        extras = max(0, min(first_proc + count, extra) - first_proc)
+        return count * base + extras
 
     def split(idx: np.ndarray, first_proc: int, count: int) -> None:
         if count == 1 or idx.size == 0:
             owners[idx] = first_proc
             return
         left_procs = count // 2
-        frac = left_procs / count
+        left_size = target(first_proc, left_procs)
         pts = points[idx]
-        spans = pts.max(axis=0) - pts.min(axis=0) if idx.size else np.zeros(2)
+        spans = pts.max(axis=0) - pts.min(axis=0)
         axis = int(np.argmax(spans))
         order = np.argsort(pts[:, axis], kind="stable")
-        cut = int(round(frac * idx.size))
-        split(idx[order[:cut]], first_proc, left_procs)
-        split(idx[order[cut:]], first_proc + left_procs, count - left_procs)
+        split(idx[order[:left_size]], first_proc, left_procs)
+        split(idx[order[left_size:]], first_proc + left_procs,
+              count - left_procs)
 
-    split(np.arange(points.shape[0], dtype=np.int64), 0, nprocs)
+    split(np.arange(n, dtype=np.int64), 0, nprocs)
     return owners
 
 

@@ -70,6 +70,13 @@ class MetricsRegistry:
         for n in names:
             reg.add(f"counter_sum.{n}", result.counter_sum(n))
             reg.add(f"counter_max.{n}", result.counter_max(n))
+        # Schedule-cache health under one stable prefix: `cache.*` is the
+        # name dashboards (and the tuner's tests) key on — in particular
+        # `cache.invalidations`, the count of schedules a redistribution
+        # threw away, which is how many re-inspections a layout move cost.
+        for short in ("hits", "misses", "invalidations"):
+            reg.add(f"cache.{short}",
+                    result.counter_sum(f"schedule_cache_{short}"))
         busy = sum(s.total_time() for s in result.stats)
         denom = result.makespan * result.nranks
         reg.add("parallel_efficiency", busy / denom if denom > 0 else 0.0)

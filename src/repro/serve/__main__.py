@@ -42,6 +42,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="directory of the persistent schedule cache")
     p.add_argument("--metrics-dir", default=None,
                    help="write one repro-run-v1 file per job here")
+    p.add_argument("--tune-dir", default=None,
+                   help="directory of the learned layout-plan store "
+                        "(repro.tune warm starts)")
     p.add_argument("--max-batch", type=int, default=8)
     p.add_argument("--job-timeout", type=float, default=120.0)
 
@@ -77,6 +80,7 @@ def _cmd_start(args) -> int:
         metrics_dir=args.metrics_dir,
         max_batch=args.max_batch,
         job_timeout=args.job_timeout,
+        tune_dir=args.tune_dir,
     )
     print(f"repro.serve: {args.nranks} ranks, policy={args.policy}, "
           f"cache={args.cache_dir or '(memory only)'}, "
@@ -128,6 +132,9 @@ def main(argv=None) -> int:
         print(f"disk: dir={disk.get('dir')} entries={disk.get('entries', 0)} "
               f"bytes={disk.get('bytes', 0)} hits={disk.get('disk_hits', 0)} "
               f"stores={disk.get('disk_stores', 0)}")
+        tune = stat.get("tune_store", {})
+        print(f"tune: dir={tune.get('dir')} "
+              f"plans={tune.get('entries', 0)}")
     else:
         print(json.dumps(response))
     return 0 if response.get("ok") else 1

@@ -157,6 +157,14 @@ def schedule_content_key(
     for name, local in locals_:
         _hash_update_str(h, f"array({name})")
         _hash_update_str(h, repr(local.dist))
+        # repr() names the pattern but not every placement parameter — a
+        # Custom owner map in particular.  Two custom layouts of the same
+        # extent must never share a key (a redistributed array would hit
+        # the old layout's schedule), so hash the layout params directly.
+        for dim in local.dist.dims:
+            for param in dim._layout_params():
+                h.update(param if isinstance(param, bytes)
+                         else str(param).encode())
         _hash_update_str(h, str(local.data.dtype))
         if name in comm_deps:
             # Global fingerprint, not local bytes: schedules are

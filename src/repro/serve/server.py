@@ -141,9 +141,60 @@ def _run_kali(server: "JobServer", spec: Dict) -> Tuple[RunResult, Dict]:
     return res.timing.engine, summary
 
 
+def _run_jacobi_adaptive(server: "JobServer",
+                         spec: Dict) -> Tuple[RunResult, Dict]:
+    """Shuffled unstructured-mesh Jacobi under the adaptive layout tuner.
+
+    Submitted with a deliberately scrambled owner map, so the first job
+    of a kind pays for profiling sweeps plus a redistribution — and, when
+    the server has a ``tune_dir``, persists the winning layout.  Repeat
+    jobs with the same fingerprint then warm-start directly in the
+    learned layout (``tune_applied`` True, ``tune_moves`` 0).
+    """
+    from repro.apps.jacobi import build_jacobi
+    from repro.distributions.custom import Custom
+    from repro.meshes.unstructured import random_unstructured_mesh
+    from repro.tune import AdaptiveRunner, TunePolicy, TuneSpec
+
+    nodes = int(spec.get("nodes", 600))
+    sweeps = int(spec.get("sweeps", 16))
+    seed = int(spec.get("seed", 7))
+    mesh, points = random_unstructured_mesh(nodes, seed=seed,
+                                            locality_sort=False)
+    rng = np.random.default_rng(seed + 1)
+    bad = Custom(rng.integers(0, server.nranks, size=mesh.n))
+    init = np.random.default_rng(int(spec.get("init_seed", 12345))).random(
+        mesh.n)
+    prog = build_jacobi(
+        mesh, server.nranks, machine=server.machine, dist=bad, initial=init,
+        pool=server.pool, schedule_cache_dir=server.cache_dir,
+        tune=server.tune_dir,
+    )
+    runner = AdaptiveRunner(
+        TuneSpec(arrays=["a", "old_a", "count", "adj", "coef"],
+                 table="adj", count="count", points=points),
+        TunePolicy(interval=int(spec.get("interval", 4)),
+                   warmup=int(spec.get("warmup", 4))),
+    )
+    result = runner.run(prog.ctx, [prog.copy_loop, prog.relax_loop], sweeps)
+    report = result.tune_report
+    final = (report["layout"]["name"] if report["layout"]
+             else ("learned" if prog.ctx.tune_applied else "initial"))
+    summary = {
+        "n": mesh.n, "sweeps": sweeps,
+        "tune_moves": report["moves"],
+        "tune_decisions": report["decisions"],
+        "tune_applied": prog.ctx.tune_applied,
+        "final_layout": final,
+        "solution_sha256": _sha256(prog.solution),
+    }
+    return result.engine, summary
+
+
 register_job_kind("jacobi", _run_jacobi)
 register_job_kind("cg", _run_cg)
 register_job_kind("kali", _run_kali)
+register_job_kind("jacobi_adaptive", _run_jacobi_adaptive)
 
 _DISK_COUNTERS = (
     "schedule_cache_disk_hits",
@@ -172,6 +223,10 @@ class JobServer:
     metrics_dir:
         When set, every job writes a ``repro-run-v1`` file
         ``job-<id>.json`` there, with serve provenance in ``meta``.
+    tune_dir:
+        Directory of the learned layout-plan store (``repro.tune``);
+        tuner-aware job kinds persist winning layouts there and repeat
+        jobs warm-start from them.  None disables the store.
     max_batch:
         Upper bound on how many identical-``batch_key`` jobs one queue
         pull may run back-to-back.
@@ -186,6 +241,7 @@ class JobServer:
         machine: MachineModel = NCUBE7,
         max_batch: int = 8,
         job_timeout: float = 120.0,
+        tune_dir: Optional[str] = None,
     ):
         if max_batch < 1:
             raise KaliError(f"max_batch must be >= 1, got {max_batch}")
@@ -193,6 +249,7 @@ class JobServer:
         self.machine = machine
         self.cache_dir = cache_dir
         self.metrics_dir = metrics_dir
+        self.tune_dir = tune_dir
         self.max_batch = max_batch
         self.pool = RankPool(nranks, timeout=job_timeout)
         self.queue = JobQueue(policy)
@@ -377,6 +434,11 @@ class JobServer:
             for name in _DISK_COUNTERS:
                 short = name.replace("schedule_cache_", "")
                 disk[short] = sum(r.get(short, 0) for r in done)
+        tune: Dict[str, Any] = {"dir": self.tune_dir}
+        if self.tune_dir is not None:
+            from repro.tune.store import PlanStore
+
+            tune["entries"] = len(PlanStore(self.tune_dir).entries())
         return {
             "nranks": self.nranks,
             "policy": self.queue.policy,
@@ -393,6 +455,7 @@ class JobServer:
                 "meshes_built": self.pool.meshes_built,
             },
             "disk_cache": disk,
+            "tune_store": tune,
         }
 
     # --- the unix-socket front -------------------------------------------

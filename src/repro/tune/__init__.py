@@ -1,0 +1,58 @@
+"""repro.tune — profile-guided adaptive layout tuning.
+
+The paper closes (§6) with "we also plan to look at more complex example
+programs, including those requiring dynamic load balancing"; this package
+is that future work, built from pieces the repo already has:
+
+* :mod:`repro.tune.signals` — :class:`LoadProfile`, the per-rank cost
+  signals of a finished run (busy time, traffic, nonlocal references,
+  inspector cost) pulled from the obs registry / engine stats;
+* :mod:`repro.tune.candidates` — candidate layout generation (block,
+  cyclic, block-cyclic sweeps, RCB partitions, processor folding) and
+  model-based scoring, including the predicted cost of *moving*;
+* :mod:`repro.tune.policy` — the online :class:`AdaptiveRunner` that
+  closes the observe → decide → redistribute loop mid-run (hysteresis,
+  cooldown, move budget) and the offline :func:`plan` entry point;
+* :mod:`repro.tune.store` — the persistent :class:`PlanStore` of learned
+  plans (format ``repro-tuneplan-v1``), keyed by the same kind of
+  content-addressed fingerprints as the schedule disk cache, which lets
+  the serve tier warm-start repeat job kinds directly in the learned
+  layout (the ``tune=`` knob on :class:`~repro.core.context.KaliContext`).
+"""
+
+from repro.tune.candidates import (
+    CandidateLayout,
+    CostBreakdown,
+    generate_candidates,
+    layout_tallies,
+    predict_move_cost,
+    score_layouts,
+)
+from repro.tune.policy import AdaptiveRunner, TunePolicy, TuneSpec, plan
+from repro.tune.signals import LoadProfile
+from repro.tune.store import (
+    PlanStore,
+    TUNEPLAN_FORMAT,
+    apply_plan,
+    context_fingerprint,
+    plan_from_layouts,
+)
+
+__all__ = [
+    "AdaptiveRunner",
+    "CandidateLayout",
+    "CostBreakdown",
+    "LoadProfile",
+    "PlanStore",
+    "TUNEPLAN_FORMAT",
+    "TunePolicy",
+    "TuneSpec",
+    "apply_plan",
+    "context_fingerprint",
+    "generate_candidates",
+    "layout_tallies",
+    "plan",
+    "plan_from_layouts",
+    "predict_move_cost",
+    "score_layouts",
+]

@@ -1,0 +1,331 @@
+"""Candidate layouts and their predicted costs.
+
+The tuner's decision is classic inspector/executor economics: a layout
+is worth moving to only when the *amortized* win over the remaining
+iterations beats the one-off cost of the move (all-to-all data motion
+plus a full re-inspection).  Everything here is a pure function of plain
+arrays, so the same scoring runs offline on the driver (full adjacency
+in hand) and online inside an SPMD program (each rank tallies its local
+rows, an integer allreduce combines them — exact, order-independent, and
+therefore bit-identical on every rank, which is what keeps the
+collective decision deterministic).
+
+Candidate generation covers the paper's §2 distribution vocabulary —
+``block``, ``cyclic``, ``block_cyclic(b)`` sweeps — plus RCB ``Custom``
+partitions from mesh coordinates and *processor folding* (the same
+pattern over fewer processors, for when per-message overhead dominates a
+small problem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.distributions.base import DimDistribution
+from repro.distributions.block import Block
+from repro.distributions.block_cyclic import BlockCyclic
+from repro.distributions.custom import Custom
+from repro.distributions.cyclic import Cyclic
+from repro.distributions.multidim import ArrayDistribution
+from repro.distributions.procs import ProcessorArray
+from repro.machine.cost import MachineModel
+
+
+def owner_map(spec: DimDistribution, n: int, nprocs: int) -> np.ndarray:
+    """The exact owner map of ``spec`` over ``n`` elements — computed by
+    binding the real distribution class, so predictions and the layout
+    ``redistribute`` actually installs can never disagree."""
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    dist = ArrayDistribution((n,), [spec._clone()], ProcessorArray(nprocs))
+    return np.asarray(dist.dims[0].owner(np.arange(n)), dtype=np.int64)
+
+
+@dataclass
+class CandidateLayout:
+    """One candidate first-dimension layout.
+
+    ``owners`` is the full owner map (global knowledge, like every
+    distribution in the paper's model); :meth:`to_spec` rebuilds the
+    distribution object ``redistribute`` expects.  Named specs (block,
+    cyclic, block_cyclic) survive as their canonical classes so a learned
+    plan stays human-readable; everything else is ``Custom``.
+    """
+
+    name: str
+    owners: np.ndarray
+    kind: str = "custom"
+    param: Optional[int] = None
+
+    def to_spec(self) -> DimDistribution:
+        if self.kind == "block":
+            return Block()
+        if self.kind == "cyclic":
+            return Cyclic()
+        if self.kind == "block_cyclic":
+            return BlockCyclic(int(self.param))
+        return Custom(self.owners)
+
+    def same_layout(self, owners: np.ndarray) -> bool:
+        return np.array_equal(self.owners, np.asarray(owners))
+
+
+def generate_candidates(
+    n: int,
+    nprocs: int,
+    points: Optional[np.ndarray] = None,
+    block_sizes: Sequence[int] = (4, 16, 64),
+    folds: Sequence[int] = (2,),
+) -> List[CandidateLayout]:
+    """The candidate set for an ``n``-element array on ``nprocs`` ranks.
+
+    Deterministic — every rank generating the same arguments gets the
+    same list in the same order (a collective-correctness requirement).
+    Duplicates (e.g. ``block_cyclic(64)`` degenerating to ``block`` on a
+    small array) are pruned by owner-map content.
+    """
+    from repro.meshes.partition import coordinate_bisection
+
+    cands: List[CandidateLayout] = []
+    cands.append(CandidateLayout(
+        "block", owner_map(Block(), n, nprocs), kind="block"))
+    cands.append(CandidateLayout(
+        "cyclic", owner_map(Cyclic(), n, nprocs), kind="cyclic"))
+    for b in block_sizes:
+        if b < 1 or b * nprocs >= n:
+            continue
+        cands.append(CandidateLayout(
+            f"block_cyclic({b})", owner_map(BlockCyclic(b), n, nprocs),
+            kind="block_cyclic", param=int(b)))
+    if points is not None and nprocs > 1 and len(points) == n:
+        cands.append(CandidateLayout(
+            "rcb", np.asarray(coordinate_bisection(points, nprocs),
+                              dtype=np.int64)))
+        for f in folds:
+            sub = nprocs // int(f)
+            if sub < 2:
+                continue
+            cands.append(CandidateLayout(
+                f"rcb/fold{f}",
+                np.asarray(coordinate_bisection(points, sub),
+                           dtype=np.int64)))
+    elif points is None:
+        for f in folds:
+            sub = nprocs // int(f)
+            if sub < 2:
+                continue
+            cands.append(CandidateLayout(
+                f"block/fold{f}", owner_map(Block(), n, sub), kind="custom"))
+
+    seen: Dict[bytes, bool] = {}
+    unique: List[CandidateLayout] = []
+    for c in cands:
+        key = c.owners.tobytes()
+        if key in seen:
+            continue
+        seen[key] = True
+        unique.append(c)
+    return unique
+
+
+# --- tallies ---------------------------------------------------------------
+#
+# A "tally" is the integer evidence one layout needs for scoring, packed
+# into a single int64 vector so the online path can combine the per-rank
+# partial tallies of every candidate with one allreduce:
+#
+#   [0:P)        live indirect references charged to each executing rank
+#   [P:2P)       the nonlocal subset of those references
+#   [2P:2P+P*P)  reference counts per (executing rank, home rank) pair
+#
+# Integer sums are exact and order-independent, so partial tallies from
+# any number of ranks combine to the same totals everywhere.
+
+
+def tally_width(nprocs: int) -> int:
+    return 2 * nprocs + nprocs * nprocs
+
+
+def layout_tallies(
+    owner_maps: Sequence[np.ndarray],
+    rows: np.ndarray,
+    table: np.ndarray,
+    counts: Optional[np.ndarray],
+    nprocs: int,
+    offset: int = 0,
+) -> np.ndarray:
+    """Tally every candidate layout over the given indirection rows.
+
+    ``rows`` are the *global* ids of the rows supplied (all of them
+    offline; a rank's local rows online), ``table``/``counts`` the
+    matching slices of the indirection arrays.  Returns an
+    ``(len(owner_maps), tally_width(nprocs))`` int64 array.
+    """
+    P = nprocs
+    rows = np.asarray(rows, dtype=np.int64)
+    table = np.asarray(table, dtype=np.int64)
+    out = np.zeros((len(owner_maps), tally_width(P)), dtype=np.int64)
+    if rows.size == 0:
+        return out
+    if counts is None:
+        counts = np.full(rows.size, table.shape[1], dtype=np.int64)
+    else:
+        counts = np.asarray(counts, dtype=np.int64)
+    width = table.shape[1] if table.ndim > 1 else 1
+    live = np.arange(width)[None, :] < counts[:, None]
+    dst = table[live] + offset          # row-major: row i's live cols group
+    src = np.repeat(rows, counts)       # ...aligned with np.repeat order
+    for k, own in enumerate(owner_maps):
+        so = own[src]
+        do = own[dst]
+        remote = so != do
+        out[k, 0:P] = np.bincount(so, minlength=P)
+        out[k, P:2 * P] = np.bincount(so[remote], minlength=P)
+        out[k, 2 * P:] = np.bincount(
+            so[remote] * P + do[remote], minlength=P * P
+        )
+    return out
+
+
+# --- scoring ---------------------------------------------------------------
+
+
+@dataclass
+class CostBreakdown:
+    """Predicted per-sweep cost of one layout under the machine model."""
+
+    name: str
+    sweep_time: float            # max over ranks (the parallel time)
+    per_rank: np.ndarray         # predicted busy seconds per rank
+    compute_max: float
+    comm_max: float
+    remote_refs: int             # total nonlocal references per sweep
+    message_pairs: int           # communicating (receiver, sender) pairs
+    imbalance: float             # max iterations over mean iterations
+
+    def to_doc(self) -> Dict:
+        return {
+            "name": self.name,
+            "sweep_time": self.sweep_time,
+            "compute_max": self.compute_max,
+            "comm_max": self.comm_max,
+            "remote_refs": self.remote_refs,
+            "message_pairs": self.message_pairs,
+            "imbalance": self.imbalance,
+        }
+
+
+def score_layouts(
+    owner_maps: Sequence[np.ndarray],
+    names: Sequence[str],
+    tallies: np.ndarray,
+    machine: MachineModel,
+    nprocs: int,
+    flops_per_ref: float = 2.0,
+    flops_per_iter: float = 0.0,
+    affine_refs: int = 3,
+    dtype_bytes: int = 8,
+) -> List[CostBreakdown]:
+    """Predict per-sweep cost for every layout from its tally.
+
+    Mirrors the executor's own cost accounting: per-iteration base, local
+    references at ``ref_local``, nonlocal references through the
+    O(log r) search structure, and per-peer message startup plus per-byte
+    transfer for the gather traffic.  ``affine_refs`` counts the aligned
+    (always-local) references per iteration alongside the tallied
+    indirect ones; ``dtype_bytes`` sizes the gathered elements.
+    """
+    P = nprocs
+    m = machine
+    results: List[CostBreakdown] = []
+    for own, name, tally in zip(owner_maps, names, tallies):
+        loads = np.bincount(own, minlength=P).astype(np.float64)
+        ref_total = tally[0:P].astype(np.float64)
+        remote = tally[P:2 * P].astype(np.float64)
+        pairs = tally[2 * P:].reshape(P, P)
+        local_refs = ref_total - remote
+
+        compute = (
+            m.iter_base * loads
+            + m.ref_local * (affine_refs * loads + local_refs)
+            + m.flop * (flops_per_ref * ref_total + flops_per_iter * loads)
+        )
+        in_pairs = (pairs > 0).sum(axis=1).astype(np.float64)
+        out_pairs = (pairs > 0).sum(axis=0).astype(np.float64)
+        elems_in = pairs.sum(axis=1).astype(np.float64)
+        elems_out = pairs.sum(axis=0).astype(np.float64)
+        levels = np.log2(np.clip(in_pairs, 1.0, None))
+        search = remote * (m.search_base + m.search_factor * levels)
+        comm = (
+            m.alpha_recv * in_pairs
+            + m.alpha_send * out_pairs
+            + m.beta * elems_out * dtype_bytes
+            + m.copy_elem * (elems_in + elems_out)
+        )
+        busy = compute + search + comm
+        mean_load = loads.mean() if P else 0.0
+        results.append(CostBreakdown(
+            name=name,
+            sweep_time=float(busy.max()) if P else 0.0,
+            per_rank=busy,
+            compute_max=float(compute.max()) if P else 0.0,
+            comm_max=float((comm + search).max()) if P else 0.0,
+            remote_refs=int(remote.sum()),
+            message_pairs=int((pairs > 0).sum()),
+            imbalance=float(loads.max() / mean_load) if mean_load else 1.0,
+        ))
+    return results
+
+
+def predict_move_cost(
+    old_owners: np.ndarray,
+    new_owners: np.ndarray,
+    machine: MachineModel,
+    nprocs: int,
+    new_tally: np.ndarray,
+    row_weights: Sequence[float] = (1.0,),
+    dtype_bytes: int = 8,
+) -> float:
+    """Predicted one-off cost of redistributing to ``new_owners``.
+
+    Covers the all-to-all data motion of every aligned array
+    (``row_weights`` holds elements-per-row for each, e.g. ``adj`` moves
+    ``width`` ints per node) **plus** the mandatory re-inspection under
+    the new layout — the cost the paper amortizes away in steady state
+    but which a tuner must charge for every move it proposes.
+    """
+    P = nprocs
+    m = machine
+    old = np.asarray(old_owners)
+    new = np.asarray(new_owners)
+    moved = old != new
+    narrays = len(row_weights)
+    elems_per_row = float(sum(row_weights))
+
+    rows_out = np.bincount(old[moved], minlength=P).astype(np.float64)
+    rows_in = np.bincount(new[moved], minlength=P).astype(np.float64)
+    pair_mat = np.bincount(
+        old[moved] * P + new[moved], minlength=P * P
+    ).reshape(P, P)
+    out_pairs = (pair_mat > 0).sum(axis=1).astype(np.float64)
+    in_pairs = (pair_mat > 0).sum(axis=0).astype(np.float64)
+
+    motion = (
+        m.copy_elem * (rows_out + rows_in) * elems_per_row
+        + (m.alpha_send * out_pairs + m.alpha_recv * in_pairs) * narrays
+        + m.beta * rows_out * elems_per_row * dtype_bytes
+    )
+    ref_total = new_tally[0:P].astype(np.float64)
+    remote = new_tally[P:2 * P].astype(np.float64)
+    stages = ceil(log2(P)) if P > 1 else 0
+    reinspect = (
+        m.inspect_ref * ref_total
+        + m.insert_elem * remote
+        + m.combine_stage * stages
+        + m.combine_byte * remote.sum() * dtype_bytes / max(P, 1)
+    )
+    return float((motion + reinspect).max()) if P else 0.0

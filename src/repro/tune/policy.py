@@ -1,0 +1,389 @@
+"""Online and offline layout-tuning policy.
+
+:class:`AdaptiveRunner` closes the observe → decide → redistribute loop
+*inside* a running SPMD program: every ``interval`` sweeps each rank
+tallies the candidate layouts over its local slice of the indirection
+data, one integer allreduce combines the evidence, and every rank scores
+the same totals with the same machine model — so the decision (stay, or
+move which arrays to which layout) is reached identically everywhere
+without a leader.  The decision itself is collective-safe by
+construction: integer sums are exact and order-independent, and the
+model comparison is scale-invariant, so the sim and mp backends decide
+identically even though their clocks differ.
+
+:func:`plan` is the same scoring run offline on the driver with the full
+arrays in hand — what the ``python -m repro.tune plan`` CLI prints.
+
+The guard rails are standard control-loop hygiene: hysteresis
+(``min_improvement``) so model noise can't cause flapping, a cooldown
+between moves, a hard ``max_moves`` budget, and the amortization test —
+a move must pay for its own all-to-all plus re-inspection out of the
+predicted per-sweep win times the sweeps that remain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.machine.api import Count
+from repro.machine.cost import MachineModel
+from repro.tune.candidates import (
+    CandidateLayout,
+    generate_candidates,
+    layout_tallies,
+    owner_map,
+    predict_move_cost,
+    score_layouts,
+)
+
+
+@dataclass
+class TuneSpec:
+    """What the tuner is allowed to touch, and how to cost it.
+
+    ``arrays`` share one first-dimension layout and move together (the
+    Figure 4 quintet ``a/old_a/count/adj/coef``); ``table``/``count``
+    name the indirection arrays whose reference pattern drives the cost;
+    ``points`` (optional mesh coordinates) unlocks RCB candidates.
+    """
+
+    arrays: Sequence[str]
+    table: str
+    count: Optional[str] = None
+    points: Optional[np.ndarray] = None
+    table_offset: int = 0
+    flops_per_ref: float = 2.0
+    flops_per_iter: float = 0.0
+    affine_refs: int = 3
+    dtype_bytes: int = 8
+    block_sizes: Sequence[int] = (4, 16, 64)
+    folds: Sequence[int] = (2,)
+
+
+@dataclass
+class TunePolicy:
+    """When the tuner may look, and when looking may become moving."""
+
+    interval: int = 4          # sweeps between decision points
+    warmup: int = 2            # sweeps before the first decision
+    min_improvement: float = 0.05   # hysteresis: predicted win must exceed this
+    cooldown: int = 4          # sweeps after a move before the next decision
+    max_moves: int = 2         # hard budget of redistributions per run
+    min_remaining: int = 2     # never move with fewer sweeps left
+
+
+class TuneSession:
+    """Per-rank tuner state (one per rank, created inside the program).
+
+    The runner object itself is shared by every rank on the sim backend
+    (one process), so anything mutable lives here.  All decision inputs
+    are allreduced, hence identical on every rank; only the measured
+    ``sweep_times`` are genuinely per-rank.
+    """
+
+    def __init__(self, kr, spec: TuneSpec, policy: TunePolicy):
+        self.kr = kr
+        self.spec = spec
+        self.policy = policy
+        self.n = int(kr.env[spec.arrays[0]].dist.shape[0])
+        self.moves = 0
+        self.decisions = 0
+        self.last_move_sweep = -(10 ** 9)
+        self.events: List[Dict] = []
+        self.sweep_times: List[float] = []
+        self._since_decision = 0
+        self._installed: Optional[CandidateLayout] = None
+        self._cands: Optional[List[CandidateLayout]] = None
+
+    # --- helpers ----------------------------------------------------------
+
+    def _candidates(self) -> List[CandidateLayout]:
+        if self._cands is None:
+            self._cands = generate_candidates(
+                self.n, self.kr.size, points=self.spec.points,
+                block_sizes=self.spec.block_sizes, folds=self.spec.folds,
+            )
+        return self._cands
+
+    def _current_owners(self) -> np.ndarray:
+        dim = self.kr.env[self.spec.arrays[0]].dist.dims[0]
+        return np.asarray(dim.owner(np.arange(self.n)), dtype=np.int64)
+
+    def _row_weights(self) -> List[float]:
+        weights = []
+        for name in self.spec.arrays:
+            shape = self.kr.env[name].dist.shape
+            weights.append(float(np.prod(shape[1:])) if len(shape) > 1 else 1.0)
+        return weights
+
+    def note_sweep(self, elapsed: float) -> None:
+        self.sweep_times.append(elapsed)
+        self._since_decision += 1
+
+    def should_check(self, sweep: int, total: int) -> bool:
+        """Pure arithmetic — every rank answers identically."""
+        done = sweep + 1
+        if done < self.policy.warmup or done >= total:
+            return False
+        return done % self.policy.interval == 0
+
+    # --- the decision point (collective) ----------------------------------
+
+    def step(self, sweep: int, total: int) -> Generator:
+        """One decision: tally → allreduce → score → maybe redistribute.
+
+        Collective — every rank must call it at the same sweep (which
+        :meth:`should_check` guarantees).  Everything that feeds the
+        decision is allreduced first, so all ranks take the same branch.
+        """
+        kr, spec, pol = self.kr, self.spec, self.policy
+        P = kr.size
+        machine: MachineModel = kr.rank.machine
+
+        cur_own = self._current_owners()
+        cands = [CandidateLayout("current", cur_own)] + self._candidates()
+
+        tbl = kr.env[spec.table]
+        counts_local = kr.env[spec.count].data if spec.count else None
+        local_tally = layout_tallies(
+            [c.owners for c in cands], tbl.global_rows, tbl.data,
+            counts_local, P, offset=spec.table_offset,
+        )
+        tally = yield from kr.allreduce(local_tally, phase="tune")
+
+        costs = score_layouts(
+            [c.owners for c in cands], [c.name for c in cands], tally,
+            machine, P, flops_per_ref=spec.flops_per_ref,
+            flops_per_iter=spec.flops_per_iter,
+            affine_refs=spec.affine_refs, dtype_bytes=spec.dtype_bytes,
+        )
+        cur = costs[0].sweep_time
+        best_i = min(range(1, len(costs)), key=lambda i: costs[i].sweep_time)
+        best, best_cand = costs[best_i], cands[best_i]
+        move_cost = predict_move_cost(
+            cur_own, best_cand.owners, machine, P, tally[best_i],
+            row_weights=self._row_weights(), dtype_bytes=spec.dtype_bytes,
+        )
+        remaining = total - (sweep + 1)
+        gain = cur - best.sweep_time
+
+        # Calibration: measured max-over-ranks sweep time vs the model's
+        # prediction.  The max reduction is order-independent, so `calib`
+        # is identical everywhere — but it scales current, candidate, and
+        # move cost equally, so it never changes the decision; it only
+        # converts predicted wins into measured seconds for reporting.
+        recent = self.sweep_times[-self._since_decision:] \
+            if self._since_decision else [0.0]
+        measured = yield from kr.max_all(
+            float(np.mean(recent)), phase="tune")
+        calib = measured / cur if cur > 0 else 1.0
+
+        moved = False
+        if best_cand.same_layout(cur_own):
+            reason = "already-best"
+        elif gain <= pol.min_improvement * cur:
+            reason = "hysteresis"
+        elif self.moves >= pol.max_moves:
+            reason = "move-budget"
+        elif remaining < pol.min_remaining:
+            reason = "too-few-remaining"
+        elif self.moves and sweep - self.last_move_sweep < pol.cooldown:
+            reason = "cooldown"
+        elif gain * remaining <= move_cost:
+            reason = "not-amortized"
+        else:
+            reason = "amortized-win"
+            for name in spec.arrays:
+                yield from kr.redistribute(name, best_cand.to_spec())
+            moved = True
+            self.moves += 1
+            self.last_move_sweep = sweep
+            self._installed = best_cand
+            yield Count("tune_moves", 1)
+
+        self.decisions += 1
+        self._since_decision = 0
+        yield Count("tune_decisions", 1)
+        self.events.append({
+            "sweep": sweep + 1,
+            "remaining": remaining,
+            "current_cost": cur,
+            "best": best_cand.name,
+            "best_cost": best.sweep_time,
+            "gain_per_sweep": gain,
+            "move_cost": move_cost,
+            "calibration": calib,
+            "moved": moved,
+            "reason": reason,
+        })
+
+    # --- wrap-up ----------------------------------------------------------
+
+    def report(self) -> Dict:
+        layout = None
+        if self._installed is not None:
+            c = self._installed
+            layout = {
+                "kind": c.kind,
+                "param": c.param,
+                "name": c.name,
+                "owners": c.owners.tolist(),
+            }
+        return {
+            "moves": self.moves,
+            "decisions": self.decisions,
+            "events": self.events,
+            "sweep_times": self.sweep_times,
+            "layout": layout,
+        }
+
+
+class AdaptiveRunner:
+    """Run a sweep program under online layout tuning.
+
+    ``wrap(loops, sweeps)`` produces an SPMD program that interleaves the
+    given foralls with tuner decision points; ``run(ctx, loops, sweeps)``
+    executes it and, when the tuner moved and the context carries a plan
+    store (``tune=`` knob), persists the winning layout so the next job
+    with the same fingerprint starts there directly.
+    """
+
+    def __init__(self, spec: TuneSpec, policy: Optional[TunePolicy] = None):
+        self.spec = spec
+        self.policy = policy or TunePolicy()
+
+    def session(self, kr) -> TuneSession:
+        return TuneSession(kr, self.spec, self.policy)
+
+    def wrap(self, loops: Sequence, sweeps: int) -> Callable:
+        spec, policy = self.spec, self.policy
+        loops = list(loops)
+
+        def program(kr) -> Generator:
+            session = TuneSession(kr, spec, policy)
+            t_prev = yield from kr.now()
+            for s in range(sweeps):
+                for loop in loops:
+                    yield from kr.forall(loop)
+                t_now = yield from kr.now()
+                session.note_sweep(t_now - t_prev)
+                if session.should_check(s, sweeps):
+                    yield from session.step(s, sweeps)
+                # Decision/move time stays out of the sweep measurement.
+                t_prev = yield from kr.now()
+            return session.report()
+
+        return program
+
+    def run(self, ctx, loops: Sequence, sweeps: int):
+        """Execute on ``ctx``; returns the :class:`KaliRunResult` with the
+        rank-0 tuner report attached as ``result.tune_report``."""
+        result = ctx.run(self.wrap(loops, sweeps))
+        report = result.values[0]
+        result.tune_report = report
+        store = getattr(ctx, "tune_store", None)
+        if store is not None and report.get("layout"):
+            ctx.store_tuned_layout(list(self.spec.arrays), report["layout"],
+                                   meta={"moves": report["moves"]})
+        return result
+
+
+def plan(
+    n: int,
+    nprocs: int,
+    machine: MachineModel,
+    table: np.ndarray,
+    counts: Optional[np.ndarray] = None,
+    points: Optional[np.ndarray] = None,
+    current=None,
+    sweeps: int = 50,
+    table_offset: int = 0,
+    flops_per_ref: float = 2.0,
+    flops_per_iter: float = 0.0,
+    affine_refs: int = 3,
+    dtype_bytes: int = 8,
+    row_weights: Sequence[float] = (1.0,),
+    block_sizes: Sequence[int] = (4, 16, 64),
+    folds: Sequence[int] = (2,),
+) -> Dict:
+    """Offline layout recommendation from global indirection data.
+
+    ``current`` is the incumbent layout: an owner-map array, a
+    distribution spec, or None (meaning block).  Returns a plain dict —
+    per-candidate predicted sweep costs, move costs, break-even sweep
+    counts, and the recommendation under the same amortization rule the
+    online tuner applies over ``sweeps`` iterations.
+    """
+    from repro.distributions.base import DimDistribution
+    from repro.distributions.block import Block
+
+    if current is None:
+        cur_own = owner_map(Block(), n, nprocs)
+    elif isinstance(current, DimDistribution):
+        cur_own = owner_map(current, n, nprocs)
+    else:
+        cur_own = np.asarray(current, dtype=np.int64)
+
+    cands = [CandidateLayout("current", cur_own)] + generate_candidates(
+        n, nprocs, points=points, block_sizes=block_sizes, folds=folds)
+    tallies = layout_tallies(
+        [c.owners for c in cands], np.arange(n), table, counts, nprocs,
+        offset=table_offset,
+    )
+    costs = score_layouts(
+        [c.owners for c in cands], [c.name for c in cands], tallies,
+        machine, nprocs, flops_per_ref=flops_per_ref,
+        flops_per_iter=flops_per_iter, affine_refs=affine_refs,
+        dtype_bytes=dtype_bytes,
+    )
+    cur = costs[0].sweep_time
+    docs = []
+    for i in range(1, len(cands)):
+        move_cost = predict_move_cost(
+            cur_own, cands[i].owners, machine, nprocs, tallies[i],
+            row_weights=row_weights, dtype_bytes=dtype_bytes,
+        )
+        gain = cur - costs[i].sweep_time
+        docs.append({
+            **costs[i].to_doc(),
+            "move_cost": move_cost,
+            "gain_per_sweep": gain,
+            "break_even_sweeps": (move_cost / gain) if gain > 0 else None,
+        })
+
+    best = min(docs, key=lambda d: d["sweep_time"])
+    best_cand = next(c for c in cands[1:] if c.name == best["name"])
+    if best_cand.same_layout(cur_own):
+        recommendation, reason = "stay", "already-best"
+    elif best["gain_per_sweep"] <= 0:
+        recommendation, reason = "stay", "no-better-candidate"
+    elif best["gain_per_sweep"] * sweeps <= best["move_cost"]:
+        recommendation, reason = "stay", "not-amortized"
+    else:
+        recommendation = best["name"]
+        reason = (f"amortized-win (break-even "
+                  f"{best['break_even_sweeps']:.1f} sweeps of {sweeps})")
+
+    layout = None
+    if recommendation != "stay":
+        layout = {
+            "kind": best_cand.kind,
+            "param": best_cand.param,
+            "name": best_cand.name,
+            "owners": best_cand.owners.tolist(),
+        }
+    return {
+        "n": n,
+        "nprocs": nprocs,
+        "sweeps": sweeps,
+        "current": costs[0].to_doc(),
+        "candidates": docs,
+        "recommendation": recommendation,
+        "reason": reason,
+        "layout": layout,
+        "predicted_total_stay": cur * sweeps,
+        "predicted_total_move": best["sweep_time"] * sweeps + best["move_cost"],
+    }

@@ -1,0 +1,204 @@
+"""Per-rank load signals of a finished run, as one :class:`LoadProfile`.
+
+``RankStats`` already records everything the tuner needs — executor busy
+time, traffic, the ``executor_remote_refs`` / ``inspector_*`` counters
+the runtime emits as ``Count`` events — but scattered across per-rank
+objects and counter names.  A :class:`LoadProfile` flattens exactly the
+tuner-relevant slice into aligned per-rank vectors, with the same three
+sources the obs registry supports: a live :class:`RunResult`, a
+``repro-run-v1`` run file, or a ``--metrics-dir`` full of them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.machine.stats import RunResult
+
+#: counters mirrored into per-rank profile vectors, profile name -> counter
+PROFILE_COUNTERS = {
+    "remote_refs": "executor_remote_refs",
+    "local_refs": "executor_local_refs",
+    "iters": "executor_iters",
+    "elems_recv": "executor_elems_recv",
+    "inspector_runs": "inspector_runs",
+    "cache_invalidations": "schedule_cache_invalidations",
+}
+
+
+@dataclass
+class LoadProfile:
+    """Per-rank cost signals of one run (aligned vectors, rank-indexed).
+
+    ``busy`` is the executor phase charge per rank — the quantity a
+    layout change tries to flatten; ``inspector`` is what a re-inspection
+    cost last time (the price of every redistribution); the counter
+    vectors say *why* a rank is slow (nonlocal references vs sheer
+    iteration count).
+    """
+
+    nranks: int
+    makespan: float
+    busy: np.ndarray                    # executor seconds per rank
+    inspector: np.ndarray               # inspector seconds per rank
+    bytes_out: np.ndarray
+    bytes_in: np.ndarray
+    msgs_out: np.ndarray
+    counters: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: per-forall busy seconds per rank, keyed by forall label (from trace)
+    per_label: Dict[str, np.ndarray] = field(default_factory=dict)
+    meta: Dict = field(default_factory=dict)
+
+    # --- derived ----------------------------------------------------------
+
+    def imbalance(self) -> float:
+        """Max busy over mean busy (1.0 = perfectly balanced)."""
+        mean = float(self.busy.mean()) if self.nranks else 0.0
+        return float(self.busy.max() / mean) if mean > 0 else 1.0
+
+    def busiest_rank(self) -> int:
+        return int(np.argmax(self.busy)) if self.nranks else 0
+
+    def remote_fraction(self) -> float:
+        """Nonlocal references over all references (0 = fully local)."""
+        remote = self.counters.get("remote_refs")
+        local = self.counters.get("local_refs")
+        if remote is None or local is None:
+            return 0.0
+        total = int(remote.sum() + local.sum())
+        return float(remote.sum() / total) if total else 0.0
+
+    def counter(self, name: str) -> np.ndarray:
+        return self.counters.get(name, np.zeros(self.nranks, dtype=np.int64))
+
+    # --- construction -----------------------------------------------------
+
+    @classmethod
+    def from_run(cls, result, meta: Optional[Dict] = None) -> "LoadProfile":
+        """Build from an engine :class:`RunResult` (or anything with an
+        ``.engine`` attribute holding one, e.g. a ``KaliRunResult``)."""
+        engine: RunResult = getattr(result, "engine", result)
+        stats = engine.stats
+        counters = {
+            name: np.array([s.counters.get(src, 0) for s in stats],
+                           dtype=np.int64)
+            for name, src in PROFILE_COUNTERS.items()
+        }
+        per_label: Dict[str, np.ndarray] = {}
+        if engine.trace:
+            for ev in engine.trace:
+                if ev.kind != "compute" or not ev.label:
+                    continue
+                vec = per_label.setdefault(
+                    ev.label, np.zeros(engine.nranks, dtype=np.float64)
+                )
+                vec[ev.rank] += ev.end - ev.start
+        return cls(
+            nranks=engine.nranks,
+            makespan=engine.makespan,
+            busy=np.array([s.phase_time.get("executor", 0.0) for s in stats]),
+            inspector=np.array(
+                [s.phase_time.get("inspector", 0.0) for s in stats]
+            ),
+            bytes_out=np.array([s.bytes_sent for s in stats], dtype=np.int64),
+            bytes_in=np.array([s.bytes_received for s in stats],
+                              dtype=np.int64),
+            msgs_out=np.array([s.messages_sent for s in stats],
+                              dtype=np.int64),
+            counters=counters,
+            per_label=per_label,
+            meta=dict(meta or {}),
+        )
+
+    @classmethod
+    def from_run_file(cls, path: str) -> "LoadProfile":
+        """Build from one ``repro-run-v1`` file (see ``repro.obs``)."""
+        from repro.obs.registry import read_run_json
+
+        with open(path) as fh:
+            meta = json.load(fh).get("meta", {})
+        profile = cls.from_run(read_run_json(path), meta=meta)
+        profile.meta.setdefault("source", path)
+        return profile
+
+    @classmethod
+    def from_metrics_dir(cls, path: str) -> List["LoadProfile"]:
+        """One profile per ``repro-run-v1`` file found under ``path``."""
+        profiles = []
+        for name in sorted(os.listdir(path)):
+            full = os.path.join(path, name)
+            if not name.endswith(".json") or not os.path.isfile(full):
+                continue
+            try:
+                with open(full) as fh:
+                    doc = json.load(fh)
+            except (OSError, ValueError):
+                continue
+            if isinstance(doc, dict) and doc.get("format") == "repro-run-v1":
+                profiles.append(cls.from_run_file(full))
+        return profiles
+
+    # --- (de)serialization ------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "nranks": self.nranks,
+            "makespan": self.makespan,
+            "busy": self.busy.tolist(),
+            "inspector": self.inspector.tolist(),
+            "bytes_out": self.bytes_out.tolist(),
+            "bytes_in": self.bytes_in.tolist(),
+            "msgs_out": self.msgs_out.tolist(),
+            "counters": {k: v.tolist() for k, v in self.counters.items()},
+            "per_label": {k: v.tolist() for k, v in self.per_label.items()},
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "LoadProfile":
+        return cls(
+            nranks=int(doc["nranks"]),
+            makespan=float(doc["makespan"]),
+            busy=np.asarray(doc["busy"], dtype=np.float64),
+            inspector=np.asarray(doc["inspector"], dtype=np.float64),
+            bytes_out=np.asarray(doc["bytes_out"], dtype=np.int64),
+            bytes_in=np.asarray(doc["bytes_in"], dtype=np.int64),
+            msgs_out=np.asarray(doc["msgs_out"], dtype=np.int64),
+            counters={k: np.asarray(v, dtype=np.int64)
+                      for k, v in doc.get("counters", {}).items()},
+            per_label={k: np.asarray(v, dtype=np.float64)
+                       for k, v in doc.get("per_label", {}).items()},
+            meta=dict(doc.get("meta", {})),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "LoadProfile":
+        return cls.from_dict(json.loads(text))
+
+    # --- reporting --------------------------------------------------------
+
+    def render_table(self) -> str:
+        lines = [
+            f"ranks={self.nranks} makespan={self.makespan:.6f}s "
+            f"imbalance={self.imbalance():.3f} "
+            f"remote_frac={self.remote_fraction():.3f}",
+            f"{'rank':>4} {'busy_s':>12} {'inspector_s':>12} {'msgs':>8} "
+            f"{'bytes_out':>12} {'remote_refs':>12} {'iters':>10}",
+        ]
+        remote = self.counter("remote_refs")
+        iters = self.counter("iters")
+        for r in range(self.nranks):
+            lines.append(
+                f"{r:>4} {self.busy[r]:>12.6f} {self.inspector[r]:>12.6f} "
+                f"{int(self.msgs_out[r]):>8} {int(self.bytes_out[r]):>12} "
+                f"{int(remote[r]):>12} {int(iters[r]):>10}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Hypothesis property tests for the mesh partitioners.
+
+:func:`coordinate_bisection` feeds ``Custom`` distributions and the
+tuner's RCB candidates, so its owner maps must be *total* (every point
+owned, every owner in range) and *exactly balanced* (part sizes differ
+by at most one — exact apportionment, not per-level rounding) for any
+processor count, including non-powers-of-two, ``nprocs > n``, and
+degenerate geometry (coincident points, collinear points).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Custom
+from repro.meshes.partition import (
+    block_partition,
+    coordinate_bisection,
+    edge_cut,
+    partition_imbalance,
+)
+
+nprocs_st = st.integers(1, 17)
+coords = st.floats(-100.0, 100.0, allow_nan=False, width=32)
+
+
+@st.composite
+def point_sets(draw):
+    """(n, 2) float points; duplicates drawn deliberately often."""
+    n = draw(st.integers(1, 120))
+    if draw(st.booleans()):
+        # coordinates from a tiny alphabet: guaranteed duplicate planes
+        vals = st.sampled_from([0.0, 1.0, 2.0])
+    else:
+        vals = coords
+    pts = draw(st.lists(st.tuples(vals, vals), min_size=n, max_size=n))
+    return np.array(pts, dtype=float)
+
+
+def assert_total_and_balanced(owners, n, nprocs):
+    assert owners.shape == (n,)
+    assert owners.min() >= 0 and owners.max() < nprocs
+    counts = np.bincount(owners, minlength=nprocs)
+    base, extra = divmod(n, nprocs)
+    # exact apportionment: `extra` parts of base+1, the rest of base
+    assert sorted(counts.tolist(), reverse=True) == \
+        [base + 1] * extra + [base] * (nprocs - extra)
+
+
+class TestCoordinateBisection:
+    @settings(max_examples=60, deadline=None)
+    @given(points=point_sets(), nprocs=nprocs_st)
+    def test_total_and_exactly_balanced(self, points, nprocs):
+        owners = coordinate_bisection(points, nprocs)
+        assert_total_and_balanced(owners, len(points), nprocs)
+
+    @settings(max_examples=30, deadline=None)
+    @given(points=point_sets(), nprocs=nprocs_st)
+    def test_deterministic(self, points, nprocs):
+        a = coordinate_bisection(points, nprocs)
+        b = coordinate_bisection(points.copy(), nprocs)
+        assert np.array_equal(a, b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(points=point_sets(), nprocs=nprocs_st)
+    def test_owner_map_binds_as_custom_distribution(self, points, nprocs):
+        """The map must be accepted verbatim by the distribution layer."""
+        from repro.distributions.multidim import ArrayDistribution
+        from repro.distributions.procs import ProcessorArray
+
+        n = len(points)
+        owners = coordinate_bisection(points, nprocs)
+        dist = ArrayDistribution((n,), [Custom(owners)],
+                                 ProcessorArray(nprocs))
+        assert np.array_equal(dist.dims[0].owner(np.arange(n)), owners)
+
+    def test_all_points_coincident(self):
+        points = np.zeros((10, 2))
+        owners = coordinate_bisection(points, 4)
+        assert_total_and_balanced(owners, 10, 4)
+
+    def test_more_procs_than_points(self):
+        owners = coordinate_bisection(np.random.default_rng(0).random((3, 2)),
+                                      8)
+        assert_total_and_balanced(owners, 3, 8)
+
+    def test_rejects_bad_shapes_and_procs(self):
+        with pytest.raises(ValueError, match=r"\(n, 2\)"):
+            coordinate_bisection(np.zeros((4, 3)), 2)
+        with pytest.raises(ValueError, match="at least one"):
+            coordinate_bisection(np.zeros((4, 2)), 0)
+
+    def test_separated_clusters_split_cleanly(self):
+        """Two well-separated clusters on 2 procs: zero cut edges between
+        clusters means RCB found the obvious partition."""
+        rng = np.random.default_rng(1)
+        left = rng.random((20, 2))
+        right = rng.random((20, 2)) + [10.0, 0.0]
+        points = np.vstack([left, right])
+        owners = coordinate_bisection(points, 2)
+        assert len(set(owners[:20])) == 1
+        assert len(set(owners[20:])) == 1
+        assert owners[0] != owners[-1]
+
+
+class TestBlockPartition:
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(0, 200), nprocs=nprocs_st)
+    def test_total_monotone_in_range(self, n, nprocs):
+        owners = block_partition(n, nprocs)
+        assert owners.shape == (n,)
+        if n:
+            assert owners.min() >= 0 and owners.max() < nprocs
+            assert np.all(np.diff(owners) >= 0)  # contiguous blocks
+
+    def test_imbalance_of_balanced_map_is_one(self):
+        owners = coordinate_bisection(np.random.default_rng(2).random((64, 2)),
+                                      8)
+        assert partition_imbalance(owners, 8) == 1.0
+
+    def test_edge_cut_counts_each_edge_once(self):
+        # a 2-node mesh with one symmetric edge, split across procs
+        adj = np.array([[1], [0]])
+        count = np.array([1, 1])
+        assert edge_cut(adj, count, np.array([0, 1])) == 1
+        assert edge_cut(adj, count, np.array([0, 0])) == 0

@@ -1,0 +1,99 @@
+"""The ``python -m repro.tune`` CLI: plan, explain, profile, and the
+loop between them (explain writes a run file, profile reads it back).
+
+Workloads here are deliberately tiny — the CLI's correctness is in its
+plumbing and report shapes; the tuner's decisions are covered by
+test_tune.py.
+"""
+
+import json
+
+import pytest
+
+from repro.tune.__main__ import main
+
+pytestmark = pytest.mark.timeout(300)
+
+SMALL = ["--nodes", "400", "--procs", "4", "--seed", "7"]
+
+
+class TestPlan:
+    def test_json_report_recommends_rcb_from_bad_start(self, capsys):
+        assert main(["plan", *SMALL, "--sweeps", "60", "--layout", "bad",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["n"] == 400 and report["nprocs"] == 4
+        assert report["recommendation"] == "rcb"
+        assert report["layout"]["kind"] == "custom"
+        assert len(report["layout"]["owners"]) == 400
+        names = {c["name"] for c in report["candidates"]}
+        assert {"block", "cyclic", "rcb"} <= names
+
+    def test_table_output_and_out_file(self, capsys, tmp_path):
+        out = tmp_path / "plan.json"
+        assert main(["plan", *SMALL, "--sweeps", "60", "-o", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "recommendation:" in text
+        assert "candidate" in text
+        saved = json.loads(out.read_text())
+        assert saved["recommendation"] == "rcb"
+
+    def test_unknown_machine_is_a_cli_error(self, capsys):
+        assert main(["plan", *SMALL, "--machine", "cray-3"]) == 2
+        assert "unknown machine" in capsys.readouterr().err
+
+
+class TestExplain:
+    def test_explains_each_decision_and_writes_run_file(self, capsys,
+                                                        tmp_path):
+        out = tmp_path / "run.json"
+        assert main(["explain", *SMALL, "--sweeps", "16", "--layout", "bad",
+                     "--warmup", "4", "--interval", "4",
+                     "-o", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "MOVED" in text
+        assert "moves: 1/2" in text
+        assert "final layout: rcb" in text
+        doc = json.loads(out.read_text())
+        assert doc["format"] == "repro-run-v1"
+        assert doc["meta"]["workload"] == "jacobi-adaptive"
+        assert doc["meta"]["tune_moves"] == 1
+
+    def test_profile_reads_explains_run_file(self, capsys, tmp_path):
+        out = tmp_path / "run.json"
+        main(["explain", *SMALL, "--sweeps", "16", "-o", str(out)])
+        capsys.readouterr()
+
+        assert main(["profile", "--run", str(out)]) == 0
+        table = capsys.readouterr().out
+        assert "ranks=4" in table
+        assert "remote_refs" in table
+
+        assert main(["profile", "--run", str(out), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["nranks"] == 4
+        assert len(doc["busy"]) == 4
+        assert doc["counters"]["cache_invalidations"] is not None
+
+
+class TestProfile:
+    def test_needs_exactly_one_source(self, capsys, tmp_path):
+        assert main(["profile"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main(["profile", "--run", "r.json",
+                     "--metrics-dir", str(tmp_path)]) == 2
+
+    def test_empty_metrics_dir_is_an_error(self, capsys, tmp_path):
+        assert main(["profile", "--metrics-dir", str(tmp_path)]) == 2
+        assert "no repro-run-v1" in capsys.readouterr().err
+
+    def test_metrics_dir_lists_every_run(self, capsys, tmp_path):
+        for name in ("a.json", "b.json"):
+            main(["explain", *SMALL, "--sweeps", "8",
+                  "-o", str(tmp_path / name)])
+        (tmp_path / "noise.json").write_text("{}")
+        capsys.readouterr()
+        assert main(["profile", "--metrics-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("---") == 2      # one header per run file, noise skipped
+        assert "a.json" in out and "b.json" in out

@@ -17,6 +17,7 @@ from repro.bench.experiments import (
     mp_wallclock,
     processor_scaling,
     serving_throughput,
+    shm_dataplane,
     single_sweep_overhead,
     size_scaling,
     straggler_experiment,
@@ -45,6 +46,7 @@ __all__ = [
     "distribution_ablation",
     "drop_rate_experiment",
     "serving_throughput",
+    "shm_dataplane",
     "straggler_experiment",
     "processor_table",
     "size_table",

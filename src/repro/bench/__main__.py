@@ -32,6 +32,7 @@ from repro.bench import (
     mp_wallclock,
     processor_scaling,
     serving_throughput,
+    shm_dataplane,
     single_sweep_overhead,
     size_scaling,
     straggler_experiment,
@@ -105,6 +106,87 @@ def _main_mp(args) -> int:
         json.dumps(doc, indent=2) + "\n"
     )
     print(f"\n[mp suite done in {time.time() - t0:.1f}s wall]")
+    return 0
+
+
+def _main_shm(args) -> int:
+    """The ``--shm`` suite: zero-copy data plane vs the pickle path.
+
+    Gates on the acceptance bar for the shm data plane: at the largest
+    payload size the shm path must move payload bytes at >= 2x the
+    pickle path's throughput, with the Jacobi differential leg bit-
+    identical to the simulator and the traced comm matrix reconciling
+    exactly against per-rank byte counters."""
+    from repro.obs.registry import MetricsRegistry, write_run_json
+
+    t0 = time.time()
+    sizes = ([1 << 14, 1 << 17, 1 << 21] if args.fast
+             else [1 << 13, 1 << 16, 1 << 19, 1 << 22])
+    repeats = 6 if args.fast else 8
+    mesh_side = 16 if args.fast else 32
+    rows, runs = shm_dataplane(NCUBE7, sizes=sizes, repeats=repeats,
+                               mesh_side=mesh_side)
+
+    xfer_rows = [r for r in rows if isinstance(r.key, int)]
+    diff_row = next(r for r in rows if r.key == "jacobi-differential")
+    print(ablation_table(
+        f"D1  shm data plane vs pickle pipes (repro.machine.shm), 2 ranks, "
+        f"{repeats} payloads per size — payload MB/s and speedup",
+        xfer_rows,
+        ["pickle_MBps", "shm_MBps", "speedup", "shm_bytes", "pipe_bytes"],
+        key_header="payload_B",
+    ))
+    print()
+    print(ablation_table(
+        f"D1b Jacobi differential with shm on, {mesh_side}x{mesh_side} "
+        "mesh, P=4 — bit-identity and comm-matrix bytes parity",
+        [diff_row],
+        ["identical", "comm_matrix_parity", "shm_bytes", "pipe_bytes"],
+        key_header="leg",
+    ))
+    print()
+
+    failures = []
+    top = xfer_rows[-1]
+    if top.values["speedup"] < 2.0:
+        failures.append(
+            f"speedup at {top.key}B payloads is {top.values['speedup']:.2f}x "
+            "(< 2.0x bar)"
+        )
+    if diff_row.values["identical"] != 1.0:
+        failures.append("shm Jacobi run diverged from the simulator")
+    if diff_row.values["comm_matrix_parity"] != 1.0:
+        failures.append("comm matrix no longer reconciles with rank counters")
+    if diff_row.values["shm_bytes"] <= 0:
+        failures.append("shm path moved zero payload bytes (plane inactive?)")
+
+    if args.metrics_dir:
+        metrics_dir = pathlib.Path(args.metrics_dir)
+        metrics_dir.mkdir(parents=True, exist_ok=True)
+        for name, engine_result in runs.items():
+            run_path = metrics_dir / f"D1_shm_{name}.run.json"
+            write_run_json(engine_result, str(run_path), meta={
+                "backend": "mp", "experiment": "D1_shm", "leg": name,
+                "machine": NCUBE7.name,
+            })
+            reg = MetricsRegistry.from_run(engine_result)
+            (metrics_dir / f"D1_shm_{name}.metrics.json").write_text(
+                reg.to_json(indent=2) + "\n")
+        doc = {
+            "experiment": "D1_shm_dataplane",
+            "fast": args.fast,
+            "rows": _rows_to_jsonable(rows),
+        }
+        (metrics_dir / "D1_shm_dataplane.metrics.json").write_text(
+            json.dumps(doc, indent=2) + "\n")
+        print(f"[metrics written to {metrics_dir}]")
+
+    if failures:
+        for f in failures:
+            print(f"[FAIL: {f}]")
+        return 1
+    print(f"[shm suite done in {time.time() - t0:.1f}s wall: "
+          f"{top.values['speedup']:.1f}x at {top.key}B]")
     return 0
 
 
@@ -258,8 +340,13 @@ def main(argv=None) -> int:
     ap.add_argument("--tune", action="store_true",
                     help="run the adaptive layout-tuning suite (T1) instead "
                          "of the paper tables")
+    ap.add_argument("--shm", action="store_true",
+                    help="run the shared-memory data-plane suite (D1) "
+                         "instead of the paper tables")
     args = ap.parse_args(argv)
 
+    if args.shm:
+        return _main_shm(args)
     if args.tune:
         return _main_tune(args)
     if args.serve:

@@ -12,5 +12,6 @@ relaxed wildcard ordering) and docs/internals.md §10 for the protocol.
 """
 
 from repro.machine.mp.engine import MpEngine, run_spmd_mp
+from repro.machine.shm import ShmDataPlane, ShmError, ShmRef
 
-__all__ = ["MpEngine", "run_spmd_mp"]
+__all__ = ["MpEngine", "run_spmd_mp", "ShmDataPlane", "ShmError", "ShmRef"]

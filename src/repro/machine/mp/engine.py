@@ -35,6 +35,12 @@ from repro.machine.api import Op, Rank
 from repro.machine.cost import MachineModel
 from repro.machine.mp.transport import build_pipe_mesh, close_mesh_except
 from repro.machine.mp.worker import ST_BLOCKED, ST_DONE, worker_main
+from repro.machine.shm import (
+    DEFAULT_SEGMENT_BYTES,
+    ShmDataPlane,
+    shm_enabled_default,
+    shm_threshold_default,
+)
 from repro.machine.stats import RankStats, RunResult
 from repro.machine.topology import FullyConnected, Topology
 from repro.machine.trace import TraceEvent
@@ -62,6 +68,15 @@ class MpEngine:
     trace:
         Stream :class:`TraceEvent` records (wall-clock times) back from
         every rank.
+    shm:
+        Route bulk payloads through a :class:`~repro.machine.shm.
+        ShmDataPlane` (shared-memory blocks; pipes carry only control
+        frames).  Defaults to on; ``REPRO_SHM=0`` is the environment
+        kill switch.  Semantics are identical either way — only the
+        transport (and the ``shm_*``/``pipe_*`` counters) change.
+    shm_threshold:
+        Payload size in bytes below which the pickle path is kept
+        (default 2048, or ``REPRO_SHM_THRESHOLD``).
     """
 
     def __init__(
@@ -72,6 +87,9 @@ class MpEngine:
         max_ops: int = 500_000_000,
         trace: bool = False,
         timeout: float = 120.0,
+        shm: Optional[bool] = None,
+        shm_threshold: Optional[int] = None,
+        shm_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
     ):
         if topology is None:
             if nranks is None:
@@ -89,6 +107,10 @@ class MpEngine:
         if timeout <= 0:
             raise EngineError(f"timeout must be > 0, got {timeout}")
         self.timeout = timeout
+        self.shm = shm if shm is not None else shm_enabled_default()
+        self.shm_threshold = (shm_threshold if shm_threshold is not None
+                              else shm_threshold_default())
+        self.shm_segment_bytes = shm_segment_bytes
         try:
             self._ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX hosts
@@ -119,6 +141,12 @@ class MpEngine:
         # Status board: (status, blocked_src, blocked_tag) per rank,
         # written by children, read by the parent on watchdog expiry.
         shared_state = ctx.RawArray("l", 3 * n)
+        # The shm data plane is created *before* forking so children
+        # inherit the primary mapping; the parent is the extra party
+        # that decodes gathered results out of finish records.
+        plane = (ShmDataPlane(n, segment_bytes=self.shm_segment_bytes,
+                              threshold=self.shm_threshold)
+                 if self.shm else None)
 
         t0 = time.monotonic()
         procs = []
@@ -130,7 +158,7 @@ class MpEngine:
                     args[r] if args is not None else None,
                     self.machine, self.topology, mesh,
                     child_ctrls[r], child_ctrls, shared_state, t0,
-                    self.trace, self.max_ops,
+                    self.trace, self.max_ops, plane,
                 ),
                 name=f"repro-mp-rank-{r}",
                 daemon=True,
@@ -143,7 +171,8 @@ class MpEngine:
             c.close()
 
         try:
-            return self._supervise(procs, parent_ctrls, shared_state, t0)
+            return self._supervise(procs, parent_ctrls, shared_state, t0,
+                                   plane)
         finally:
             for p in procs:
                 if p.is_alive():
@@ -160,10 +189,15 @@ class MpEngine:
                     c.close()
                 except OSError:
                     pass
+            if plane is not None:
+                # Every child is joined: unlink all segments (including
+                # any a crashed rank grew) via the prefix sweep.
+                plane.close(unlink=True)
 
     # --- supervisor loop -------------------------------------------------
 
-    def _supervise(self, procs, parent_ctrls, shared_state, t0) -> RunResult:
+    def _supervise(self, procs, parent_ctrls, shared_state, t0,
+                   plane=None) -> RunResult:
         n = self.nranks
         deadline = time.monotonic() + self.timeout
         clocks: List[Optional[float]] = [None] * n
@@ -197,6 +231,8 @@ class MpEngine:
                             trace_events.extend(msg[1])
                     elif kind == "finish":
                         _, clock, value, rstats = msg
+                        if plane is not None:
+                            value, _b, _blk = plane.decode(value)
                         clocks[r] = clock
                         values[r] = value
                         stats[r] = rstats

@@ -142,7 +142,10 @@ class SenderThread:
             with self._lock:
                 self._queued[conn] -= 1
 
-    def send(self, conn, frame: Tuple) -> None:
+    def send(self, conn, frame: Tuple) -> int:
+        """Enqueue one frame; returns the pickled frame size in bytes —
+        the *pipe* traffic this message costs, which the shm data plane's
+        accounting compares against the payload bytes it hoisted."""
         self.check()
         buf = bytes(ForkingPickler.dumps(frame))
         with self._lock:
@@ -157,9 +160,10 @@ class SenderThread:
                     conn.send_bytes(buf)
                 except BaseException as exc:
                     self._error = exc
-                return
+                return len(buf)
             self._queued[conn] = self._queued.get(conn, 0) + 1
         self._q.put((conn, buf))
+        return len(buf)
 
     def flush(self, timeout: float = 30.0) -> None:
         """Block until everything queued so far is on the wire, without

@@ -211,14 +211,21 @@ def worker_main(
     t0: float,
     trace: bool,
     max_ops: int,
+    dataplane=None,
 ) -> None:
     """Entry point of one forked rank process.  Never returns normally:
     reports ``("finish", ...)`` or ``("error", ...)`` on the control pipe
-    and exits."""
+    and exits.
+
+    ``dataplane`` is an optional :class:`repro.machine.shm.ShmDataPlane`
+    inherited from the parent; when present, bulk payloads travel as
+    shared-memory blocks and pipes carry only control frames."""
     close_mesh_except(mesh, rank_id)
     for r, pc in enumerate(parent_ctrls):
         if r != rank_id:
             pc.close()
+    if dataplane is not None:
+        dataplane.attach(rank_id)
 
     def now() -> float:
         return time.monotonic() - t0
@@ -251,8 +258,20 @@ def worker_main(
         value = _interpret(
             rank_id, nranks, gen, stats, trace_buf if trace else None,
             sender, inbox, mesh[rank_id], now, set_state, max_ops,
-            flush_trace,
+            flush_trace, dataplane=dataplane,
         )
+        if dataplane is not None:
+            # Gathered results ride the data plane too: the parent (the
+            # plane's extra party) decodes the refs out of the finish
+            # record.  Counted before the stats object is shipped.
+            value, vbytes, vblocks, vfall = dataplane.encode(
+                value, (dataplane.parent_party,))
+            if vbytes:
+                stats.count("shm_bytes_sent", vbytes)
+                stats.count("shm_blocks_sent", vblocks)
+            if vfall:
+                stats.count("shm_fallbacks", vfall)
+            stats.counters["shm_hwm_bytes"] = dataplane.hwm_bytes
         sender.flush_and_stop()
         # Anything still buffered (or readable) was sent but never
         # received — the simulator's "undelivered_messages" accounting,
@@ -295,8 +314,15 @@ def _interpret(
     set_state,
     max_ops: int,
     flush_trace,
+    dataplane=None,
 ) -> Any:
-    """Drive the rank generator over real pipes; returns its value."""
+    """Drive the rank generator over real pipes; returns its value.
+
+    With a ``dataplane``, large payload leaves are hoisted into shared
+    memory before the frame is pickled (and resolved after receive);
+    ``nbytes``/``bytes_sent`` still come from the *original* payload via
+    ``op.wire_size()``, so traffic accounting is transport-independent.
+    """
     resume: Any = None
     seq_counter = 0
     ops = 0
@@ -340,10 +366,20 @@ def _interpret(
             nbytes = op.wire_size()
             seq = rank_id + nranks * seq_counter  # globally unique
             seq_counter += 1
-            sender.send(
+            payload = op.payload
+            if dataplane is not None:
+                payload, sbytes, sblocks, sfall = dataplane.encode(
+                    payload, (op.dest,))
+                if sbytes:
+                    stats.count("shm_bytes_sent", sbytes)
+                    stats.count("shm_blocks_sent", sblocks)
+                if sfall:
+                    stats.count("shm_fallbacks", sfall)
+            framelen = sender.send(
                 conns[op.dest],
-                (op.tag, seq, nbytes, op_start, op.payload),
+                (op.tag, seq, nbytes, op_start, payload),
             )
+            stats.count("pipe_bytes_sent", framelen)
             end = now()
             charge(op.phase, pending_since, end)
             stats.messages_sent += 1
@@ -361,7 +397,7 @@ def _interpret(
             if op.source != ANY_SOURCE:
                 validate_peer(op.source, nranks)
             msg = _do_recv(
-                rank_id, op, inbox, now, set_state,
+                rank_id, op, inbox, now, set_state, dataplane, stats,
             )
             end = now()
             charge(op.phase, pending_since, end)
@@ -411,6 +447,8 @@ def _do_recv(
     inbox: _Inbox,
     now,
     set_state,
+    dataplane=None,
+    stats: Optional[RankStats] = None,
 ) -> Optional[Tuple[float, Message]]:
     """Blocking receive with optional timeout.  Returns ``(arrival_wall,
     Message)`` or None on timeout."""
@@ -422,11 +460,17 @@ def _do_recv(
             if got is not None:
                 idx, src, frame = got
                 arrival = inbox.arrival_wall.pop(idx, now())
+                payload = frame[FRAME_PAYLOAD]
+                if dataplane is not None:
+                    payload, rbytes, rblocks = dataplane.decode(payload)
+                    if rbytes and stats is not None:
+                        stats.count("shm_bytes_recv", rbytes)
+                        stats.count("shm_blocks_recv", rblocks)
                 return arrival, Message(
                     source=src,
                     dest=rank_id,
                     tag=frame[FRAME_TAG],
-                    payload=frame[FRAME_PAYLOAD],
+                    payload=payload,
                     nbytes=frame[FRAME_NBYTES],
                     arrival=arrival,
                     seq=frame[FRAME_SEQ],

@@ -77,6 +77,18 @@ class MetricsRegistry:
         for short in ("hits", "misses", "invalidations"):
             reg.add(f"cache.{short}",
                     result.counter_sum(f"schedule_cache_{short}"))
+        # Shared-memory data-plane health under the same kind of stable
+        # prefix (mp backend only; all zero on simulator runs).  `shm.
+        # bytes` vs `shm.pipe_bytes` is the zero-copy win; `shm.hwm_bytes`
+        # the deepest any rank's arena got; `shm.reclaimed_bytes` what
+        # pool reset barriers gave back.  See docs/dataplane.md.
+        reg.add("shm.bytes", result.counter_sum("shm_bytes_sent"))
+        reg.add("shm.blocks", result.counter_sum("shm_blocks_sent"))
+        reg.add("shm.pipe_bytes", result.counter_sum("pipe_bytes_sent"))
+        reg.add("shm.fallbacks", result.counter_sum("shm_fallbacks"))
+        reg.add("shm.hwm_bytes", result.counter_max("shm_hwm_bytes"))
+        reg.add("shm.reclaimed_bytes",
+                result.counter_sum("shm_reclaimed_bytes"))
         busy = sum(s.total_time() for s in result.stats)
         denom = result.makespan * result.nranks
         reg.add("parallel_efficiency", busy / denom if denom > 0 else 0.0)

@@ -128,7 +128,9 @@ def main(argv=None) -> int:
               f"queued={stat['queued']} done={stat['jobs_done']} "
               f"failures={stat['failures']}")
         print(f"pool: warm={pool['warm']} jobs={pool['jobs_done']} "
-              f"rebuilds={pool['rebuilds']} meshes={pool['meshes_built']}")
+              f"rebuilds={pool['rebuilds']} meshes={pool['meshes_built']} "
+              f"shm_ship_bytes={pool.get('shm_ship_bytes', 0)} "
+              f"shm_reclaimed_bytes={pool.get('shm_reclaimed_bytes', 0)}")
         print(f"disk: dir={disk.get('dir')} entries={disk.get('entries', 0)} "
               f"bytes={disk.get('bytes', 0)} hits={disk.get('disk_hits', 0)} "
               f"stores={disk.get('disk_stores', 0)}")

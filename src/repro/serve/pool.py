@@ -50,6 +50,12 @@ from repro.machine.mp.worker import (
     _Inbox,
     _interpret,
 )
+from repro.machine.shm import (
+    DEFAULT_SEGMENT_BYTES,
+    ShmDataPlane,
+    shm_enabled_default,
+    shm_threshold_default,
+)
 from repro.machine.stats import RankStats, RunResult
 from repro.machine.topology import FullyConnected, Topology
 from repro.machine.trace import TraceEvent
@@ -63,12 +69,16 @@ from repro.serve import shipping
 _TRACE_FLUSH = 512
 
 
-def _pool_worker_main(rank_id, nranks, mesh, job_conns, shared_state):
+def _pool_worker_main(rank_id, nranks, mesh, job_conns, shared_state,
+                      dataplane=None):
     """Persistent rank process: serve jobs until ``stop`` (or parent EOF).
 
     One :class:`SenderThread` and one :class:`_Inbox` live for the whole
     pool; per-job state (stats, trace buffer, sequence counters, the rank
-    object itself) is rebuilt from the job message every time.
+    object itself) is rebuilt from the job message every time.  The shm
+    ``dataplane`` (when the pool has one) also lives pool-long: each
+    worker's arena is rewound at the reset barrier, which is the
+    pool-reset reclamation the obs counters report.
     """
     close_mesh_except(mesh, rank_id)
     for r, c in enumerate(job_conns):
@@ -77,6 +87,8 @@ def _pool_worker_main(rank_id, nranks, mesh, job_conns, shared_state):
     conn = job_conns[rank_id]
     sender = SenderThread()
     inbox = _Inbox(mesh[rank_id])
+    if dataplane is not None:
+        dataplane.attach(rank_id)
     jobs_done = 0
 
     def set_state(status, src=-2, tag=-2):
@@ -99,7 +111,9 @@ def _pool_worker_main(rank_id, nranks, mesh, job_conns, shared_state):
                 continue
             if kind == "reset":
                 inbox.drain_ready(time.monotonic)
-                conn.send(("reset_done", inbox.reset()))
+                reclaimed = (dataplane.reset_party()
+                             if dataplane is not None else 0)
+                conn.send(("reset_done", inbox.reset(), reclaimed))
                 continue
             if kind != "job":
                 conn.send(("error", 0.0, f"unknown pool command {kind!r}",
@@ -122,7 +136,7 @@ def _pool_worker_main(rank_id, nranks, mesh, job_conns, shared_state):
 
             try:
                 set_state(ST_RUNNING)
-                program = shipping.loads(payload)
+                program = shipping.loads_via(payload, dataplane)
                 rank = Rank(rank_id, nranks, machine, topology, arg)
                 gen = program(rank)
                 if not hasattr(gen, "send"):
@@ -134,7 +148,17 @@ def _pool_worker_main(rank_id, nranks, mesh, job_conns, shared_state):
                     rank_id, nranks, gen, stats,
                     trace_buf if trace else None, sender, inbox,
                     mesh[rank_id], now, set_state, max_ops, flush_trace,
+                    dataplane=dataplane,
                 )
+                if dataplane is not None:
+                    value, vbytes, vblocks, vfall = dataplane.encode(
+                        value, (dataplane.parent_party,))
+                    if vbytes:
+                        stats.count("shm_bytes_sent", vbytes)
+                        stats.count("shm_blocks_sent", vblocks)
+                    if vfall:
+                        stats.count("shm_fallbacks", vfall)
+                    stats.counters["shm_hwm_bytes"] = dataplane.hwm_bytes
                 # Everything this job queued must be on the wire before we
                 # report: peers drain their pipes at the reset barrier, and
                 # the barrier only starts after every rank reported.
@@ -198,7 +222,10 @@ class RankPool:
     _ids = itertools.count(1)
 
     def __init__(self, nranks: int, timeout: float = 120.0,
-                 max_ops: int = 500_000_000):
+                 max_ops: int = 500_000_000,
+                 shm: Optional[bool] = None,
+                 shm_threshold: Optional[int] = None,
+                 shm_segment_bytes: int = DEFAULT_SEGMENT_BYTES):
         if nranks < 1:
             raise EngineError(f"pool needs nranks >= 1, got {nranks}")
         if timeout <= 0:
@@ -206,6 +233,15 @@ class RankPool:
         self.nranks = nranks
         self.timeout = timeout
         self.max_ops = max_ops
+        #: shared-memory data plane knobs (see docs/dataplane.md);
+        #: ``shm=None`` means on unless ``REPRO_SHM=0``
+        self.shm = shm if shm is not None else shm_enabled_default()
+        self.shm_threshold = (shm_threshold if shm_threshold is not None
+                              else shm_threshold_default())
+        self.shm_segment_bytes = shm_segment_bytes
+        self._plane: Optional[ShmDataPlane] = None
+        self.shm_ship_bytes = 0       # program payload bytes shipped via shm
+        self.shm_reclaimed_bytes = 0  # arena bytes rewound at reset barriers
         try:
             self._ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX hosts
@@ -250,11 +286,15 @@ class RankPool:
         parent_ends = [a for a, _b in pairs]
         child_ends = [b for _a, b in pairs]
         self._shared = ctx.RawArray("l", 3 * n)
+        # Pre-fork so every worker inherits the primary segment mapping.
+        self._plane = (ShmDataPlane(n, segment_bytes=self.shm_segment_bytes,
+                                    threshold=self.shm_threshold)
+                       if self.shm else None)
         procs = []
         for r in range(n):
             p = ctx.Process(
                 target=_pool_worker_main,
-                args=(r, n, mesh, child_ends, self._shared),
+                args=(r, n, mesh, child_ends, self._shared, self._plane),
                 name=f"repro-{self.name}-rank-{r}",
                 daemon=True,
             )
@@ -297,6 +337,13 @@ class RankPool:
         self._procs = None
         self._ctrls = None
         self._shared = None
+        if self._plane is not None:
+            # All workers joined above: unlink everything, then sweep
+            # the name prefix so a crashed worker's grown segments are
+            # reclaimed too (the crash condemned this mesh, so nothing
+            # can still reference them).
+            self._plane.close(unlink=True)
+            self._plane = None
 
     def close(self) -> None:
         """Drain the mesh and release every OS resource (idempotent)."""
@@ -382,7 +429,11 @@ class RankPool:
             )
         self._ensure_started()
         self.last_pool_reused = self._mesh_jobs > 0
-        payload = shipping.dumps(program)
+        # Shipped schedules ride the data plane: serialize once, publish
+        # one shared block every rank reads, send only the ref n times.
+        payload, shipped = shipping.dumps_via(
+            program, self._plane, range(self.nranks))
+        self.shm_ship_bytes += shipped
         t0 = time.monotonic()
         job_timeout = timeout if timeout is not None else self.timeout
         try:
@@ -440,6 +491,8 @@ class RankPool:
                             trace_events.extend(msg[1])
                     elif kind == "finish":
                         _, clock, value, rstats = msg
+                        if self._plane is not None:
+                            value, _b, _blk = self._plane.decode(value)
                         clocks[r] = clock
                         values[r] = value
                         stats[r] = rstats
@@ -500,6 +553,14 @@ class RankPool:
                 )
             if reply[1]:
                 result.stats[r].count("undelivered_messages", reply[1])
+            reclaimed = reply[2] if len(reply) > 2 else 0
+            if reclaimed:
+                self.shm_reclaimed_bytes += reclaimed
+                result.stats[r].count("shm_reclaimed_bytes", reclaimed)
+        if self._plane is not None:
+            # Parent-side housekeeping: every rank has read the ship
+            # block by now, so rewind the parent arena as well.
+            self.shm_reclaimed_bytes += self._plane.reset_party()
 
     def _deadlock(self, pending, t0) -> DeadlockError:
         wall = time.monotonic() - t0

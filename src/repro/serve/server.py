@@ -386,6 +386,10 @@ class JobServer:
             record[name.replace("schedule_cache_", "")] = (
                 result.counter_sum(name)
             )
+        # Data-plane accounting: payload bytes that crossed process
+        # boundaries through the shm segments vs the control pipes.
+        record["shm_bytes"] = result.counter_sum("shm_bytes_sent")
+        record["pipe_bytes"] = result.counter_sum("pipe_bytes_sent")
         if self.metrics_dir:
             record["metrics_file"] = self._write_metrics(job, record, result)
         with self._lock:
@@ -453,6 +457,8 @@ class JobServer:
                 "jobs_done": self.pool.jobs_done,
                 "rebuilds": self.pool.rebuilds,
                 "meshes_built": self.pool.meshes_built,
+                "shm_ship_bytes": self.pool.shm_ship_bytes,
+                "shm_reclaimed_bytes": self.pool.shm_reclaimed_bytes,
             },
             "disk_cache": disk,
             "tune_store": tune,

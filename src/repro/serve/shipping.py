@@ -158,3 +158,33 @@ def dumps(obj: Any) -> bytes:
 
 def loads(data: bytes) -> Any:
     return pickle.loads(data)
+
+
+def dumps_via(obj: Any, plane, consumers) -> Tuple[Any, int]:
+    """Serialize ``obj`` and, when a shm data plane is available and the
+    payload clears its threshold, publish the bytes **once** as a shared
+    block every consumer reads — the job message then carries only the
+    :class:`~repro.machine.shm.ShmRef`.  This is how shipped schedules
+    (rank programs closing over scattered operands) cross the control
+    pipes without ``nranks`` pickled copies.
+
+    Returns ``(payload_or_ref, shm_bytes)`` where ``shm_bytes`` is the
+    serialized size if it went via shm, else 0."""
+    payload = dumps(obj)
+    if plane is not None and len(payload) >= plane.threshold:
+        ref = plane.publish_bytes(payload, consumers)
+        if ref is not None:
+            return ref, len(payload)
+    return payload, 0
+
+
+def loads_via(payload: Any, plane) -> Any:
+    """Inverse of :func:`dumps_via` on the worker side: resolve a shm ref
+    (one copy out of the shared block) or unpickle inline bytes."""
+    if not isinstance(payload, (bytes, bytearray)):
+        if plane is None:
+            raise ShippingError(
+                "job payload is a shm ref but this worker has no data plane"
+            )
+        payload = plane.read(payload)
+    return loads(payload)

@@ -33,9 +33,21 @@ from typing import Any, Callable, Dict, List, Tuple
 
 import numpy as np
 
-#: counters that legitimately differ between backends (none today; the
-#: hook exists for future wall-clock-only accounting)
-TIME_DEPENDENT_COUNTERS: frozenset = frozenset()
+#: counters that legitimately differ between backends: the shm data
+#: plane's transport accounting exists only on real-process runs (the
+#: simulator moves payloads by reference, so there is nothing to hoist
+#: or pickle).  Semantic counters — cache hits, inspector builds,
+#: crystal rounds, undelivered messages — are still compared exactly.
+TIME_DEPENDENT_COUNTERS: frozenset = frozenset({
+    "shm_bytes_sent",
+    "shm_blocks_sent",
+    "shm_bytes_recv",
+    "shm_blocks_recv",
+    "shm_fallbacks",
+    "shm_hwm_bytes",
+    "shm_reclaimed_bytes",
+    "pipe_bytes_sent",
+})
 
 
 @dataclass

@@ -1,0 +1,74 @@
+"""The docs link checker (``tools/check_doc_links.py``) — and, through
+it, the repo's own docs: every relative link and heading anchor in
+``README.md`` and ``docs/*.md`` must resolve."""
+
+import pathlib
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+import check_doc_links  # noqa: E402
+
+
+def test_repo_docs_have_no_broken_links(capsys):
+    assert check_doc_links.main(["check_doc_links", str(ROOT)]) == 0, (
+        capsys.readouterr().out
+    )
+
+
+def test_github_slugs():
+    assert check_doc_links.github_slug("Quick start") == "quick-start"
+    assert check_doc_links.github_slug("13. The shm data plane") == (
+        "13-the-shm-data-plane")
+    assert check_doc_links.github_slug("`repro.serve` — the pool") == (
+        "reproserve--the-pool")
+
+
+def _write_docs(tmp_path, readme, docs=None):
+    (tmp_path / "README.md").write_text(readme)
+    (tmp_path / "docs").mkdir()
+    for name, text in (docs or {}).items():
+        (tmp_path / "docs" / name).write_text(text)
+
+
+def test_broken_relative_link_fails(tmp_path, capsys):
+    _write_docs(tmp_path, "see [missing](docs/nope.md)\n")
+    assert check_doc_links.main(["x", str(tmp_path)]) == 1
+    assert "no such file" in capsys.readouterr().out
+
+
+def test_broken_anchor_fails(tmp_path, capsys):
+    _write_docs(tmp_path, "see [s](docs/a.md#wrong-slug)\n",
+                {"a.md": "# Right slug\n"})
+    assert check_doc_links.main(["x", str(tmp_path)]) == 1
+    assert "broken anchor" in capsys.readouterr().out
+
+
+def test_valid_links_and_anchors_pass(tmp_path):
+    _write_docs(
+        tmp_path,
+        "see [a](docs/a.md#one-two) and [self](#intro)\n\n# Intro\n",
+        {"a.md": "# One two\n"},
+    )
+    assert check_doc_links.main(["x", str(tmp_path)]) == 0
+
+
+def test_code_fences_are_ignored(tmp_path):
+    _write_docs(tmp_path,
+                "```\n[not a link](nowhere.md)\n```\n")
+    assert check_doc_links.main(["x", str(tmp_path)]) == 0
+
+
+def test_duplicate_headings_get_suffixes(tmp_path):
+    _write_docs(tmp_path, "[a](docs/a.md#setup) [b](docs/a.md#setup-1)\n",
+                {"a.md": "# Setup\n\n# Setup\n"})
+    assert check_doc_links.main(["x", str(tmp_path)]) == 0
+
+
+def test_external_links_skipped(tmp_path):
+    _write_docs(tmp_path, "[x](https://example.com/nope) "
+                          "[y](mailto:a@b.c)\n")
+    assert check_doc_links.main(["x", str(tmp_path)]) == 0

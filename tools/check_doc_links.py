@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Check relative links and intra-repo anchors in the markdown docs.
+
+Scans ``README.md`` and ``docs/*.md`` for markdown links.  External
+links (``http://``, ``https://``, ``mailto:``) are skipped; everything
+else must resolve:
+
+* a relative path target must exist on disk (relative to the file the
+  link appears in);
+* a ``#fragment`` on a markdown target must match a heading in that
+  file, using GitHub's slug rules (lowercase, spaces to dashes,
+  punctuation dropped);
+* a bare ``#fragment`` must match a heading in the same file.
+
+Exit status 1 and one line per problem when anything is broken — CI
+runs this so the cross-link mesh between the docs cannot rot silently.
+
+Usage::
+
+    python tools/check_doc_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import Dict, List, Set
+
+#: inline markdown links: [text](target) — images share the syntax
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*$")
+_CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+#: characters GitHub drops when slugging a heading
+_SLUG_STRIP_RE = re.compile(r"[^\w\- ]", re.UNICODE)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line (sans the ``#`` marks)."""
+    # inline code/bold/link markup contributes only its text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").replace("*", "").replace("_", " ")
+    text = _SLUG_STRIP_RE.sub("", text.strip().lower())
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: pathlib.Path) -> Set[str]:
+    """All anchor slugs a markdown file exposes (with GitHub's ``-1``
+    suffixing for duplicate headings)."""
+    slugs: Set[str] = set()
+    counts: Dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def iter_links(path: pathlib.Path):
+    """Yield (line_number, target) for every markdown link, skipping
+    fenced code blocks (they hold example syntax, not real links)."""
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in _LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path,
+               slug_cache: Dict[pathlib.Path, Set[str]]) -> List[str]:
+    problems: List[str] = []
+
+    def slugs_of(p: pathlib.Path) -> Set[str]:
+        if p not in slug_cache:
+            slug_cache[p] = heading_slugs(p)
+        return slug_cache[p]
+
+    for lineno, target in iter_links(path):
+        where = f"{path.relative_to(root)}:{lineno}"
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if not base:                       # same-file anchor
+            if fragment and fragment not in slugs_of(path):
+                problems.append(f"{where}: broken anchor #{fragment}")
+            continue
+        dest = (path.parent / base).resolve()
+        if not dest.exists():
+            problems.append(f"{where}: broken link {target} "
+                            f"(no such file {base})")
+            continue
+        if fragment:
+            if dest.suffix.lower() != ".md":
+                continue                   # anchors into non-md: not checked
+            if fragment not in slugs_of(dest):
+                problems.append(
+                    f"{where}: broken anchor {target} "
+                    f"(no heading slug #{fragment} in {base})"
+                )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    root = pathlib.Path(argv[1]).resolve() if len(argv) > 1 else (
+        pathlib.Path(__file__).resolve().parent.parent)
+    files = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    files = [f for f in files if f.exists()]
+    slug_cache: Dict[pathlib.Path, Set[str]] = {}
+    problems: List[str] = []
+    for f in files:
+        problems.extend(check_file(f, root, slug_cache))
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"\n{len(problems)} broken link(s)/anchor(s) "
+              f"across {len(files)} files")
+        return 1
+    print(f"docs link check: {len(files)} files OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -17,6 +17,7 @@ from repro.bench.experiments import (
     mp_wallclock,
     processor_scaling,
     serving_throughput,
+    sharded_throughput,
     shm_dataplane,
     single_sweep_overhead,
     size_scaling,
@@ -46,6 +47,7 @@ __all__ = [
     "distribution_ablation",
     "drop_rate_experiment",
     "serving_throughput",
+    "sharded_throughput",
     "shm_dataplane",
     "straggler_experiment",
     "processor_table",

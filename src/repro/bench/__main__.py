@@ -18,6 +18,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import pathlib
 import sys
 import time
@@ -32,6 +33,7 @@ from repro.bench import (
     mp_wallclock,
     processor_scaling,
     serving_throughput,
+    sharded_throughput,
     shm_dataplane,
     single_sweep_overhead,
     size_scaling,
@@ -218,6 +220,52 @@ def _main_serve(args) -> int:
         print("[FAIL: warm-pool+disk re-inspected on a cache hit]")
         return 1
 
+    # --- S2: jobs/sec vs shard count ---------------------------------
+    shard_counts = (1, 2) if args.fast else (1, 2, 4)
+    s2_njobs = 12 if args.fast else 24
+    s2_families = 4 if args.fast else 6
+    s2_side = 10 if args.fast else 12
+    s2_rows, s2_details = sharded_throughput(
+        NCUBE7, shard_counts=shard_counts, njobs=s2_njobs,
+        mesh_side=s2_side, families=s2_families)
+    print()
+    print(ablation_table(
+        f"S2  sharded fleet throughput, {s2_njobs} mixed jacobi/cg jobs "
+        f"({s2_families} families), 2 ranks/shard — wall seconds",
+        s2_rows,
+        ["jobs_per_s", "speedup", "p50_ms", "p95_ms", "shards_used",
+         "min_hit_rate", "hit_delta"],
+        key_header="fleet",
+    ))
+    print()
+
+    s2 = {r.key: r.values for r in s2_rows}
+    top_k = max(shard_counts)
+    s2_speedup = s2[f"{top_k}-shard"]["speedup"]
+    ncpu = os.cpu_count() or 1
+    # The per-shard cache-health half of the S2 gate holds on any
+    # machine: content routing never splits a job family, so every
+    # shard's disk hit rate must match what its job subset achieved on
+    # the single pool (hit_delta ~ 0).
+    for k in shard_counts:
+        delta = s2[f"{k}-shard"]["hit_delta"]
+        if delta < -1e-9:
+            print(f"[FAIL: per-shard disk hit rate degraded at {k} "
+                  f"shards: {delta:+.3f} vs the single-pool baseline]")
+            return 1
+    # The speedup half needs real cores to mean anything.
+    need = 2.5 if top_k >= 4 else 1.25
+    if ncpu >= 4:
+        print(f"[{top_k}-shard vs single-pool: {s2_speedup:.2f}x jobs/sec "
+              f"(gate: >={need}x)]")
+        if s2_speedup < need:
+            print(f"[FAIL: {top_k}-shard fleet below {need}x "
+                  f"single-pool throughput]")
+            return 1
+    else:
+        print(f"[S2 speedup gate skipped: {ncpu} CPU core(s); measured "
+              f"{s2_speedup:.2f}x at {top_k} shards]")
+
     if args.metrics_dir:
         metrics_dir = pathlib.Path(args.metrics_dir)
         metrics_dir.mkdir(parents=True, exist_ok=True)
@@ -244,6 +292,16 @@ def _main_serve(args) -> int:
         }
         (metrics_dir / "S1_serve_throughput.metrics.json").write_text(
             json.dumps(doc, indent=2) + "\n"
+        )
+        s2_doc = {
+            "experiment": "S2_sharded_throughput",
+            "fast": args.fast,
+            "cpu_count": ncpu,
+            "rows": _rows_to_jsonable(s2_rows),
+            "per_shard": {str(k): v for k, v in s2_details.items()},
+        }
+        (metrics_dir / "S2_sharded_throughput.metrics.json").write_text(
+            json.dumps(s2_doc, indent=2) + "\n"
         )
     print(f"\n[serve suite done in {time.time() - t0:.1f}s wall]")
     return 0

@@ -576,6 +576,136 @@ def serving_throughput(
     return rows, runs
 
 
+def sharded_throughput(
+    machine: MachineModel,
+    shard_counts=(1, 2, 4),
+    njobs: int = 24,
+    nprocs: int = 2,
+    mesh_side: int = 12,
+    sweeps: int = 2,
+    families: int = 6,
+):
+    """S2: mixed-workload jobs/sec versus shard count.
+
+    The same stream of ``njobs`` jobs — ``families`` distinct
+    jacobi/cg job families, round-robin — is pushed through a
+    :class:`~repro.serve.server.JobServer` fleet at each shard count,
+    all submitted up front so the queues are saturated and the wall
+    time measures fleet throughput, not submission latency.  Every
+    fleet starts cold (fork + first inspection included) with a fresh
+    cache root, so the comparison across shard counts is fair.
+
+    Besides jobs/sec and per-job latency percentiles, each row carries
+    the cache-health half of the S2 gate: ``hit_delta``, the worst
+    per-shard difference between the shard's disk-cache hit rate and the
+    hit rate *the same job subset* achieved in the single-pool baseline.
+    (Comparing against the pooled single-pool average would be wrong —
+    shards own different family mixes, and a shard holding the
+    cache-unfriendliest families sits below the average even with
+    perfect routing.)  The subsets match exactly because routing is
+    deterministic: the baseline's records are grouped by where the
+    rendezvous map would place them at k shards.  Content routing never
+    splits a family, so ``hit_delta`` must be ~0 at every k on any
+    machine; the speedup half of the gate needs real cores and is
+    enforced by the driver only when the host has them.
+
+    Returns ``(rows, details)``; ``details[k]`` maps each shard count to
+    its per-shard ``{shard: {"hits": h, "misses": m, "jobs": j}}``
+    breakdown for the report files.
+    """
+    import tempfile
+    import time as _time
+
+    import numpy as np
+
+    from repro.serve.server import JobServer
+
+    def workload():
+        jobs = []
+        for i in range(njobs):
+            fam = i % families
+            if fam % 2 == 0:
+                jobs.append(("jacobi", {
+                    "rows": mesh_side + fam, "sweeps": sweeps, "seed": fam,
+                }))
+            else:
+                jobs.append(("cg", {
+                    "rows": mesh_side + fam, "max_iter": 25, "seed": fam,
+                }))
+        return jobs
+
+    def rates_by_group(records, k):
+        """Hit rate per shard-at-k, grouping by the rendezvous map (so
+        a baseline run can be regrouped as if it had run on k shards)."""
+        from repro.serve.router import ShardRouter, route_key
+
+        router = ShardRouter([f"shard-{i}" for i in range(k)])
+        group: dict = {}
+        for r in records:
+            name = router.route(route_key(r["kind"], r["spec"]))
+            d = group.setdefault(name, [0, 0])
+            d[0] += r.get("disk_hits", 0)
+            d[1] += r.get("disk_misses", 0)
+        return {name: (h / (h + m) if h + m else 1.0)
+                for name, (h, m) in group.items()}
+
+    rows, details = [], {}
+    base_jps = None
+    base_records = None
+    for k in shard_counts:
+        with tempfile.TemporaryDirectory(prefix="repro-s2-cache-") as cdir:
+            server = JobServer(nprocs, cache_dir=cdir, shards=k,
+                               max_batch=4)
+            with server:
+                t0 = _time.perf_counter()
+                futures = [server.submit(kind, spec)
+                           for kind, spec in workload()]
+                records = [f.result(timeout=600) for f in futures]
+                wall = _time.perf_counter() - t0
+            bad = [r for r in records if not r.get("ok")]
+            if bad:
+                raise RuntimeError(
+                    f"S2: {len(bad)} jobs failed at {k} shards: "
+                    f"{bad[0].get('error')}")
+            per_shard: dict = {}
+            for r in records:
+                d = per_shard.setdefault(
+                    r["shard"], {"hits": 0, "misses": 0, "jobs": 0})
+                d["hits"] += r.get("disk_hits", 0)
+                d["misses"] += r.get("disk_misses", 0)
+                d["jobs"] += 1
+            if base_jps is None:
+                base_records = records
+            mine = {
+                name: (d["hits"] / (d["hits"] + d["misses"])
+                       if d["hits"] + d["misses"] else 1.0)
+                for name, d in per_shard.items()
+            }
+            base = rates_by_group(base_records, k)
+            hit_delta = min(
+                (mine[name] - base.get(name, 0.0) for name in mine),
+                default=0.0,
+            )
+            lat = np.asarray([r["wall_s"] for r in records])
+            jps = njobs / wall
+            if base_jps is None:
+                base_jps = jps
+            rows.append(AblationRow(
+                key=f"{k}-shard",
+                values={
+                    "jobs_per_s": jps,
+                    "speedup": jps / base_jps,
+                    "p50_ms": float(np.percentile(lat, 50)) * 1e3,
+                    "p95_ms": float(np.percentile(lat, 95)) * 1e3,
+                    "shards_used": float(len(per_shard)),
+                    "min_hit_rate": min(mine.values()),
+                    "hit_delta": hit_delta,
+                },
+            ))
+            details[k] = per_shard
+    return rows, details
+
+
 # --- shared-memory data plane (repro.machine.shm) ------------------------
 
 

@@ -96,10 +96,45 @@ class MetricsRegistry:
             reg.update(extra)
         return reg
 
+    @classmethod
+    def from_fleet(cls, stat: Dict) -> "MetricsRegistry":
+        """Flatten a serve-fleet ``stat()`` snapshot into metrics.
+
+        Naming scheme, parallel to ``cache.*``/``shm.*``: fleet-level
+        health under ``serve.*`` (``serve.jobs_done`` is monotone over a
+        server's life — the soak test pins that), per-shard counters
+        under ``shard.<index>.*`` so a dashboard can watch routing skew,
+        crash retries, and disk-cache growth shard by shard.
+        """
+        reg = cls()
+        reg.update({
+            "serve.shards": len(stat.get("shards", [])),
+            "serve.jobs_done": stat.get("jobs_done", 0),
+            "serve.failures": stat.get("failures", 0),
+            "serve.sheds": stat.get("sheds", 0),
+            "serve.retries": stat.get("retries", 0),
+            "serve.replays": stat.get("replays", 0),
+            "serve.queued": stat.get("queued", 0),
+            "serve.uptime_s": stat.get("uptime_s", 0.0),
+        })
+        for entry in stat.get("shards", []):
+            prefix = f"shard.{entry['name'].split('-')[-1]}"
+            for short in ("queued", "jobs_done", "failures", "retries",
+                          "replays_in", "sheds", "rebuilds", "meshes_built",
+                          "shm_ship_bytes", "shm_reclaimed_bytes",
+                          "disk_entries", "disk_bytes"):
+                reg.add(f"{prefix}.{short}", entry.get(short, 0))
+        return reg
+
     # --- access ----------------------------------------------------------
 
     def as_dict(self) -> Dict[str, Number]:
         return dict(self._metrics)
+
+    def subset(self, prefix: str) -> Dict[str, Number]:
+        """The metrics under one dotted prefix (``subset("shard.0")``)."""
+        dot = prefix if prefix.endswith(".") else prefix + "."
+        return {k: v for k, v in self._metrics.items() if k.startswith(dot)}
 
     def get(self, name: str, default: Optional[Number] = None):
         return self._metrics.get(name, default)

@@ -1,0 +1,188 @@
+"""Autoscaler: grow and shrink the shard fleet on sustained queue depth.
+
+The serving cost model is simple: a shard is a warm mesh of ``nranks``
+processes, so shards cost memory and cores whether or not they run jobs,
+while queue depth costs latency.  The autoscaler trades one for the
+other with deliberate sluggishness — every decision is *hysteretic*:
+
+* **scale up** when the average queued-jobs-per-shard stays at or above
+  ``high_depth`` for ``up_after`` consecutive seconds;
+* **scale down** when it stays at or below ``low_depth`` for
+  ``down_after`` seconds (down_after >> up_after by default: adding a
+  shard is cheap and helps immediately, retiring one throws away a warm
+  mesh and hot caches);
+* ``cooldown`` seconds must pass between *any* two membership changes,
+  so one burst cannot staircase the fleet to ``max_shards`` and back;
+* the watermarks must be separated (``high_depth > low_depth``) so the
+  fleet cannot oscillate when depth sits between them — that band is
+  the "leave it alone" region.
+
+Scale-down retires the youngest shard via
+:meth:`~repro.serve.server.JobServer.retire_shard`, which re-routes the
+router away, replays the retiree's backlog onto survivors, and only then
+tears the pool down — retirement never loses an accepted job (the chaos
+suite leans on the same replay path).
+
+Every decision is recorded in a bounded event log surfaced through
+``stat()["autoscale"]`` so a soak run can be audited after the fact.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.errors import KaliError
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Watermarks and timing for fleet scaling (see module docstring)."""
+
+    min_shards: int = 1
+    max_shards: int = 4
+    high_depth: float = 8.0   # avg queued per shard that demands growth
+    low_depth: float = 1.0    # avg queued per shard that tolerates shrink
+    up_after: float = 0.5     # seconds the high watermark must hold
+    down_after: float = 3.0   # seconds the low watermark must hold
+    cooldown: float = 1.0     # min seconds between membership changes
+    interval: float = 0.1     # sampling period
+
+    def __post_init__(self):
+        if self.min_shards < 1:
+            raise KaliError(
+                f"min_shards must be >= 1, got {self.min_shards}")
+        if self.max_shards < self.min_shards:
+            raise KaliError(
+                f"max_shards ({self.max_shards}) < min_shards "
+                f"({self.min_shards})")
+        if self.high_depth <= self.low_depth:
+            raise KaliError(
+                f"high_depth ({self.high_depth}) must exceed low_depth "
+                f"({self.low_depth}) — the gap is the hysteresis band")
+        for name in ("up_after", "down_after", "cooldown", "interval"):
+            if getattr(self, name) < 0:
+                raise KaliError(f"{name} must be >= 0")
+
+
+class Autoscaler:
+    """Samples fleet depth on a daemon thread and applies the policy."""
+
+    MAX_EVENTS = 32
+
+    def __init__(self, server, policy: AutoscalePolicy):
+        self.server = server
+        self.policy = policy
+        self.events: List[Dict[str, Any]] = []
+        self.decisions = 0
+        self._high_since: Optional[float] = None
+        self._low_since: Optional[float] = None
+        self._last_change = float("-inf")
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    # --- lifecycle -------------------------------------------------------
+
+    def start(self) -> "Autoscaler":
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-serve-autoscaler",
+                daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(10.0)
+            self._thread = None
+
+    # --- the control loop ------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.policy.interval):
+            try:
+                self.step()
+            except KaliError:
+                # A race with manual scale/retire (e.g. the fleet is at
+                # one shard by the time retire fires) is not fatal; the
+                # next sample re-evaluates from current membership.
+                continue
+
+    def step(self, now: Optional[float] = None) -> Optional[str]:
+        """One sampling/decision step; returns ``"up"``/``"down"`` when
+        it changed the fleet, else None.  Separated from the thread loop
+        so tests can drive the policy deterministically with a fake
+        clock."""
+        now = time.monotonic() if now is None else now
+        server = self.server
+        shards = list(server.shards)
+        nshards = len(shards)
+        depth = sum(s.queue.pending() for s in shards)
+        avg = depth / max(nshards, 1)
+        pol = self.policy
+
+        if avg >= pol.high_depth:
+            self._high_since = now if self._high_since is None \
+                else self._high_since
+            self._low_since = None
+        elif avg <= pol.low_depth:
+            self._low_since = now if self._low_since is None \
+                else self._low_since
+            self._high_since = None
+        else:  # the hysteresis band: no pressure either way
+            self._high_since = None
+            self._low_since = None
+
+        if now - self._last_change < pol.cooldown:
+            return None
+
+        if (self._high_since is not None
+                and now - self._high_since >= pol.up_after
+                and nshards < pol.max_shards):
+            shard = server.add_shard()
+            self._record(now, "up", nshards + 1, avg, shard.name)
+            self._high_since = None
+            self._last_change = now
+            return "up"
+
+        if (self._low_since is not None
+                and now - self._low_since >= pol.down_after
+                and nshards > pol.min_shards
+                and not any(s.busy for s in shards)):
+            name = server.retire_shard()
+            self._record(now, "down", nshards - 1, avg, name)
+            self._low_since = None
+            self._last_change = now
+            return "down"
+        return None
+
+    def _record(self, now: float, action: str, nshards: int,
+                avg_depth: float, shard: str) -> None:
+        with self._lock:
+            self.decisions += 1
+            self.events.append({
+                "t": now,
+                "action": action,
+                "shards": nshards,
+                "avg_depth": round(avg_depth, 3),
+                "shard": shard,
+            })
+            del self.events[:-self.MAX_EVENTS]
+
+    # --- introspection ---------------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "min_shards": self.policy.min_shards,
+                "max_shards": self.policy.max_shards,
+                "high_depth": self.policy.high_depth,
+                "low_depth": self.policy.low_depth,
+                "decisions": self.decisions,
+                "events": list(self.events),
+            }

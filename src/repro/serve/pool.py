@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import threading
 import time
 from multiprocessing.connection import wait as conn_wait
 from typing import Any, List, Optional
@@ -67,6 +68,27 @@ from repro.serve import diskcache as _diskcache  # noqa: F401
 from repro.serve import shipping
 
 _TRACE_FLUSH = 512
+
+# Forking a mesh from a multi-threaded parent (the sharded server runs
+# one scheduler thread per shard) is safe for *our* state because workers
+# re-read everything from the job message — but two meshes forking
+# concurrently could each inherit the other's half-built pipe fds.  One
+# process-wide lock serializes mesh construction; it is held only while
+# forking, never while running jobs.
+_FORK_LOCK = threading.Lock()
+
+
+class PoolCrashError(EngineError):
+    """A pool worker died (or stopped answering) out from under a job.
+
+    Raised instead of plain :class:`EngineError` when the failure is
+    *infrastructural* — a rank process exited without reporting, closed
+    its control pipe mid-job, or missed the reset barrier — as opposed
+    to the rank *program* raising (which reports a traceback and is
+    deterministic).  The serving layer retries crashed jobs against its
+    retry budget; program errors it fails immediately, because re-running
+    a deterministic failure buys nothing.
+    """
 
 
 def _pool_worker_main(rank_id, nranks, mesh, job_conns, shared_state,
@@ -281,28 +303,31 @@ class RankPool:
             self.rebuilds += 1
         n = self.nranks
         ctx = self._ctx
-        mesh = build_pipe_mesh(ctx, n)
-        pairs = [ctx.Pipe(duplex=True) for _ in range(n)]
-        parent_ends = [a for a, _b in pairs]
-        child_ends = [b for _a, b in pairs]
-        self._shared = ctx.RawArray("l", 3 * n)
-        # Pre-fork so every worker inherits the primary segment mapping.
-        self._plane = (ShmDataPlane(n, segment_bytes=self.shm_segment_bytes,
-                                    threshold=self.shm_threshold)
-                       if self.shm else None)
-        procs = []
-        for r in range(n):
-            p = ctx.Process(
-                target=_pool_worker_main,
-                args=(r, n, mesh, child_ends, self._shared, self._plane),
-                name=f"repro-{self.name}-rank-{r}",
-                daemon=True,
-            )
-            p.start()
-            procs.append(p)
-        close_mesh_except(mesh, None)
-        for c in child_ends:
-            c.close()
+        with _FORK_LOCK:
+            mesh = build_pipe_mesh(ctx, n)
+            pairs = [ctx.Pipe(duplex=True) for _ in range(n)]
+            parent_ends = [a for a, _b in pairs]
+            child_ends = [b for _a, b in pairs]
+            self._shared = ctx.RawArray("l", 3 * n)
+            # Pre-fork so every worker inherits the primary segment
+            # mapping.
+            self._plane = (ShmDataPlane(n,
+                                        segment_bytes=self.shm_segment_bytes,
+                                        threshold=self.shm_threshold)
+                           if self.shm else None)
+            procs = []
+            for r in range(n):
+                p = ctx.Process(
+                    target=_pool_worker_main,
+                    args=(r, n, mesh, child_ends, self._shared, self._plane),
+                    name=f"repro-{self.name}-rank-{r}",
+                    daemon=True,
+                )
+                p.start()
+                procs.append(p)
+            close_mesh_except(mesh, None)
+            for c in child_ends:
+                c.close()
         self._procs = procs
         self._ctrls = parent_ends
         self._mesh_jobs = 0
@@ -437,14 +462,21 @@ class RankPool:
         t0 = time.monotonic()
         job_timeout = timeout if timeout is not None else self.timeout
         try:
-            for r, c in enumerate(self._ctrls):
-                c.send((
-                    "job", t0, payload, machine, topology,
-                    args[r] if args is not None else None,
-                    trace, self.max_ops,
-                ))
-            result = self._supervise(t0, job_timeout, trace)
-            self._reset_barrier(result)
+            try:
+                for r, c in enumerate(self._ctrls):
+                    c.send((
+                        "job", t0, payload, machine, topology,
+                        args[r] if args is not None else None,
+                        trace, self.max_ops,
+                    ))
+                result = self._supervise(t0, job_timeout, trace)
+                self._reset_barrier(result)
+            except (BrokenPipeError, ConnectionResetError) as io_err:
+                # A pipe endpoint vanished under us: some rank died
+                # between health checks.  Infrastructure, not program.
+                raise PoolCrashError(
+                    f"a rank's pipe failed mid-job ({io_err})"
+                ) from io_err
         except Exception:
             # Condemn the mesh: a failed job leaves workers in unknown
             # comm state.  The next run (or health check) rebuilds.
@@ -481,8 +513,8 @@ class RankPool:
                 if what == "ctrl":
                     try:
                         msg = obj.recv()
-                    except EOFError:
-                        raise EngineError(
+                    except (EOFError, ConnectionResetError):
+                        raise PoolCrashError(
                             f"rank {r} closed its control pipe mid-job"
                         ) from None
                     kind = msg[0]
@@ -499,6 +531,16 @@ class RankPool:
                         pending.discard(r)
                     elif kind == "error":
                         _, clock, tb, _rstats = msg
+                        # A rank that trips over a dead peer (EOF on a
+                        # mesh pipe) reports an "error" like any other
+                        # exception — but if some pool process has died,
+                        # the root cause is the death, not the program.
+                        dead = [i for i in range(n) if not procs[i].is_alive()]
+                        if dead:
+                            raise PoolCrashError(
+                                f"rank {r} failed after rank(s) {dead} "
+                                f"died mid-job:\n{tb}"
+                            )
                         raise EngineError(
                             f"rank {r} failed after {clock:.3f}s wall:\n{tb}"
                         )
@@ -511,7 +553,7 @@ class RankPool:
                     if ctrl.poll(0):
                         continue  # its last report is still in the pipe
                     procs[r].join(1.0)
-                    raise EngineError(
+                    raise PoolCrashError(
                         f"rank {r} died without reporting "
                         f"(exit code {procs[r].exitcode})"
                     )
@@ -542,11 +584,16 @@ class RankPool:
         for r, c in enumerate(self._ctrls):
             remaining = max(deadline - time.monotonic(), 0.0)
             if not c.poll(remaining):
-                raise EngineError(
+                raise PoolCrashError(
                     f"rank {r} failed to ack the inter-job reset within "
                     f"{timeout}s"
                 )
-            reply = c.recv()
+            try:
+                reply = c.recv()
+            except (EOFError, ConnectionResetError):
+                raise PoolCrashError(
+                    f"rank {r} closed its control pipe at the reset barrier"
+                ) from None
             if reply[0] != "reset_done":  # pragma: no cover - protocol guard
                 raise EngineError(
                     f"rank {r} answered reset with {reply[0]!r}"

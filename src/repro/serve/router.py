@@ -1,0 +1,103 @@
+"""Shard router: rendezvous (highest-random-weight) hashing for the fleet.
+
+The sharded server keeps N independent :class:`~repro.serve.pool.RankPool`
+shards, each with its own warm mesh, its own in-memory schedule caches
+(inside its forked workers) and its own disk-cache directory.  Those
+caches only pay off if the *same* job family keeps landing on the *same*
+shard — so placement is content-based, not load-based: the route key is
+the job kind plus every shape-determining field of the spec (the same
+fingerprint idea the disk schedule cache keys on), and the router maps
+each key to a shard with rendezvous hashing.
+
+Rendezvous hashing (Thaler & Ravishankar) scores every ``(shard, key)``
+pair with an independent hash and picks the highest score.  Properties
+this module's tests pin down:
+
+* **deterministic across processes** — scores are SHA-256 of the bytes
+  of ``shard_name | key``; no ``PYTHONHASHSEED`` dependence, no state;
+* **balanced** — for k distinct keys and n shards each shard expects
+  k/n keys, with binomial concentration around it;
+* **minimally disruptive** — adding a shard moves only the keys whose
+  new highest score belongs to the new shard (≈ 1/(n+1) of them), and
+  *every* moved key moves *to* the new shard; removing a shard moves
+  only the keys that lived on it.  Cache warmth on surviving shards is
+  untouched by a scale-up/down event.
+
+The router is intentionally tiny and lock-free for reads: membership
+changes swap the shard tuple atomically (Python reference assignment),
+so concurrent ``route`` calls see either the old or the new fleet,
+never a torn one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import KaliError
+
+
+def route_key(kind: str, spec: Optional[Dict[str, Any]] = None) -> str:
+    """The content fingerprint a job routes by: kind + canonical spec.
+
+    Identical ``(kind, spec)`` pairs — the jobs that share schedules,
+    learned plans, and batch keys — always produce identical route keys,
+    in any process, on any platform.
+    """
+    return f"{kind}:{json.dumps(spec or {}, sort_keys=True, default=str)}"
+
+
+def _score(shard: str, key: str) -> int:
+    h = hashlib.sha256(f"{shard}|{key}".encode("utf-8")).digest()
+    return int.from_bytes(h[:8], "big")
+
+
+class ShardRouter:
+    """Rendezvous-hash membership: names in, winning shard name out."""
+
+    def __init__(self, shards: Optional[List[str]] = None):
+        self._shards: Tuple[str, ...] = tuple(shards or ())
+        if len(set(self._shards)) != len(self._shards):
+            raise KaliError("duplicate shard names in router membership")
+
+    # --- membership ------------------------------------------------------
+
+    @property
+    def shards(self) -> Tuple[str, ...]:
+        return self._shards
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def add(self, shard: str) -> None:
+        if shard in self._shards:
+            raise KaliError(f"shard {shard!r} already routed")
+        self._shards = self._shards + (shard,)
+
+    def remove(self, shard: str) -> None:
+        if shard not in self._shards:
+            raise KaliError(f"shard {shard!r} not in the router")
+        self._shards = tuple(s for s in self._shards if s != shard)
+
+    # --- routing ---------------------------------------------------------
+
+    def route(self, key: str, exclude: Tuple[str, ...] = ()) -> str:
+        """The shard owning ``key``: highest rendezvous score wins.
+
+        ``exclude`` names shards temporarily out of contention (a
+        condemned pool whose in-flight jobs are being replayed); when it
+        would empty the fleet it is ignored rather than failing the job.
+        """
+        shards = self._shards
+        if exclude:
+            survivors = tuple(s for s in shards if s not in exclude)
+            if survivors:
+                shards = survivors
+        if not shards:
+            raise KaliError("router has no shards to route to")
+        return max(shards, key=lambda s: (_score(s, key), s))
+
+    def table(self, keys: List[str]) -> Dict[str, str]:
+        """Route many keys at once (test/diagnostic convenience)."""
+        return {k: self.route(k) for k in keys}

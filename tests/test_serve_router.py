@@ -1,0 +1,171 @@
+"""Property tests for the rendezvous shard router.
+
+The router is the piece that makes sharding *worth it*: cache warmth
+depends on stable, balanced, minimally-disruptive placement.  Each
+property here is one of those three words:
+
+* **deterministic** — routing is a pure function of (shard names, key):
+  same answer on every call, across router instances, and across
+  *processes* (no ``PYTHONHASHSEED`` dependence — pinned by actually
+  spawning a fresh interpreter);
+* **balanced** — over any drawn key set, no shard gets pathologically
+  more than its k/n share (binomial concentration, generous bound);
+* **minimally disruptive** — adding a shard moves keys *only onto the
+  new shard* (never between survivors), about 1/(n+1) of them; removing
+  a shard moves *only that shard's* keys.  Everything else stays put —
+  which is exactly the statement "scaling does not cool surviving
+  caches".
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KaliError
+from repro.serve.router import ShardRouter, route_key
+
+# Unique printable keys: list of distinct tokens (dedup by construction
+# so disruption ratios are over distinct keys, the quantity that matters).
+keys_strategy = st.lists(
+    st.text(st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1, max_size=24),
+    min_size=1, max_size=200, unique=True,
+)
+
+shard_names = [f"shard-{i}" for i in range(8)]
+
+
+# --- determinism ----------------------------------------------------------
+
+
+@given(keys=keys_strategy, n=st.integers(min_value=1, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_routing_is_deterministic_per_instance(keys, n):
+    router = ShardRouter(shard_names[:n])
+    other = ShardRouter(shard_names[:n])
+    for key in keys:
+        assert router.route(key) == router.route(key) == other.route(key)
+
+
+def test_routing_is_deterministic_across_processes():
+    """A fresh interpreter (fresh hash randomization) must route every
+    key identically — placement can never depend on process state."""
+    keys = [route_key("jacobi", {"rows": r, "sweeps": s})
+            for r in (8, 16, 32) for s in (1, 2)]
+    keys += [f"key-{i}" for i in range(32)]
+    here = ShardRouter(shard_names[:4]).table(keys)
+    script = (
+        "import json, sys\n"
+        "from repro.serve.router import ShardRouter\n"
+        "keys = json.load(sys.stdin)\n"
+        "router = ShardRouter([f'shard-{i}' for i in range(4)])\n"
+        "print(json.dumps(router.table(keys)))\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script], input=json.dumps(keys),
+        capture_output=True, text=True, check=True,
+    )
+    assert json.loads(out.stdout) == here
+
+
+# --- balance --------------------------------------------------------------
+
+
+@given(n=st.integers(min_value=2, max_value=8),
+       seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_balanced_within_bounds(n, seed):
+    """With k >> n distinct keys every shard stays within a generous
+    multiplicative band of the fair share k/n (SHA-256 scores are
+    uniform; 3x/0.2x bounds are far outside binomial noise at k=600)."""
+    k = 600
+    keys = [f"balance-{seed}-{i}" for i in range(k)]
+    router = ShardRouter(shard_names[:n])
+    counts = {s: 0 for s in router.shards}
+    for key in keys:
+        counts[router.route(key)] += 1
+    fair = k / n
+    assert sum(counts.values()) == k
+    for shard, got in counts.items():
+        assert got < 3.0 * fair, f"{shard} overloaded: {got} vs fair {fair}"
+        assert got > 0.2 * fair, f"{shard} starved: {got} vs fair {fair}"
+
+
+# --- minimal disruption ---------------------------------------------------
+
+
+@given(keys=keys_strategy, n=st.integers(min_value=1, max_value=7))
+@settings(max_examples=60, deadline=None)
+def test_adding_a_shard_moves_keys_only_onto_it(keys, n):
+    router = ShardRouter(shard_names[:n])
+    before = router.table(keys)
+    router.add(shard_names[n])
+    after = router.table(keys)
+    moved = [k for k in keys if before[k] != after[k]]
+    # Every moved key moved TO the new shard — survivors never trade
+    # keys among themselves, so their caches stay exactly as warm.
+    for k in moved:
+        assert after[k] == shard_names[n]
+    # About 1/(n+1) of keys move; bound the tail generously.
+    if len(keys) >= 30:
+        expected = len(keys) / (n + 1)
+        assert len(moved) <= 3.0 * expected + 5
+
+
+@given(keys=keys_strategy, n=st.integers(min_value=2, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_removing_a_shard_moves_only_its_keys(keys, n):
+    router = ShardRouter(shard_names[:n])
+    before = router.table(keys)
+    victim = shard_names[n - 1]
+    router.remove(victim)
+    after = router.table(keys)
+    for k in keys:
+        if before[k] == victim:
+            assert after[k] != victim
+        else:
+            assert after[k] == before[k], (
+                f"key {k!r} moved between surviving shards")
+
+
+@given(keys=keys_strategy, n=st.integers(min_value=2, max_value=8))
+@settings(max_examples=30, deadline=None)
+def test_exclude_equals_removal(keys, n):
+    """Routing with a shard excluded (the condemned-pool replay path)
+    lands every key exactly where a fleet without that shard would."""
+    router = ShardRouter(shard_names[:n])
+    victim = shard_names[0]
+    smaller = ShardRouter(shard_names[1:n])
+    for k in keys:
+        assert router.route(k, exclude=(victim,)) == smaller.route(k)
+
+
+# --- edges ----------------------------------------------------------------
+
+
+def test_membership_errors():
+    router = ShardRouter(["a", "b"])
+    with pytest.raises(KaliError):
+        router.add("a")
+    with pytest.raises(KaliError):
+        router.remove("c")
+    with pytest.raises(KaliError):
+        ShardRouter(["x", "x"])
+    with pytest.raises(KaliError):
+        ShardRouter([]).route("anything")
+
+
+def test_exclude_ignored_when_it_would_empty_the_fleet():
+    router = ShardRouter(["only"])
+    assert router.route("k", exclude=("only",)) == "only"
+
+
+def test_route_key_is_canonical():
+    assert route_key("jacobi", {"b": 1, "a": 2}) == \
+        route_key("jacobi", {"a": 2, "b": 1})
+    assert route_key("jacobi", {}) == route_key("jacobi", None)
+    assert route_key("jacobi", {"rows": 8}) != route_key("cg", {"rows": 8})

@@ -1,0 +1,149 @@
+"""Soak/leak regression: 200 mixed-tenant jobs through the async front.
+
+PR 4 pinned fd hygiene for one warm pool; this extends the check to the
+sharded path, where the leak surface is much wider: asyncio transports,
+per-connection stream pairs, two pools' pipe meshes and shm segments,
+and a scheduler thread per shard.  One mid-sized soak catches the
+classes of bug that per-feature unit tests structurally cannot — a pipe
+pair leaked per *job*, an shm segment leaked per *batch*, a counter that
+wobbles backwards under concurrency.
+
+Assertions:
+
+* ``/proc/self/fd`` count at the end of the run equals the post-warmup
+  baseline — zero descriptors leaked across ~200 jobs and hundreds of
+  socket round trips;
+* ``/dev/shm`` holds no new ``repro-shm-*`` segments once the server is
+  closed (the data plane unlinked everything it created);
+* ``serve.jobs_done`` sampled concurrently with the stream is monotone
+  non-decreasing and lands exactly on the accepted-job count — the
+  counter never double-counts a replayed/batched job and never loses
+  one.
+"""
+
+import glob
+import os
+import threading
+import time
+
+import pytest
+
+from repro.serve.frontend import serve_async
+from repro.serve.server import JobServer, ServeClient
+
+NJOBS = 200
+TENANTS = ("default", "alice", "bob", "carol")
+
+
+def _fd_count() -> int:
+    return len(os.listdir("/proc/self/fd"))
+
+
+def _shm_entries() -> set:
+    return set(glob.glob("/dev/shm/*repro*"))
+
+
+def _job_for(i: int):
+    # Three small families, mixed kinds, round-robin over tenants.
+    fam = i % 3
+    if fam == 2:
+        return "cg", {"rows": 6, "max_iter": 12, "seed": fam}
+    return "jacobi", {"rows": 7 + fam, "sweeps": 1, "seed": fam}
+
+
+@pytest.mark.timeout(300)
+def test_soak_fd_shm_and_monotonic_jobs_done(tmp_path):
+    shm_before = _shm_entries()
+    sock = str(tmp_path / "soak.sock")
+    server = JobServer(2, shards=2, tenants={"alice": {"weight": 2.0}})
+    front = threading.Thread(target=serve_async, args=(server, sock),
+                             daemon=True)
+    front.start()
+
+    client = ServeClient(sock, timeout=120.0)
+    for _ in range(200):
+        try:
+            client.request("ping")
+            break
+        except (FileNotFoundError, ConnectionRefusedError, OSError):
+            time.sleep(0.05)
+
+    conns = [client.connect() for _ in range(len(TENANTS))]
+    watch = client.connect()
+    try:
+        # Warmup: fork both meshes, seed the schedule caches, spin up
+        # the drain executor thread — everything that legitimately
+        # allocates descriptors must have happened before the baseline.
+        for i, conn in enumerate(conns):
+            kind, spec = _job_for(i)
+            reply = conn.request("submit", kind=kind, spec=spec,
+                                 tenant=TENANTS[i])
+            assert reply["ok"], reply
+        assert watch.request("drain")["ok"]
+        baseline_fd = _fd_count()
+
+        samples = []
+        stop_sampling = threading.Event()
+
+        def sample():
+            while not stop_sampling.is_set():
+                reply = watch.request("metrics")
+                samples.append(reply["metrics"]["serve.jobs_done"])
+                time.sleep(0.05)
+
+        sampler = threading.Thread(target=sample, daemon=True)
+        sampler.start()
+
+        errors = []
+
+        def submitter(lane: int):
+            conn, tenant = conns[lane], TENANTS[lane]
+            for i in range(lane, NJOBS, len(TENANTS)):
+                kind, spec = _job_for(i)
+                reply = conn.request("submit", kind=kind, spec=spec,
+                                     tenant=tenant)
+                if not reply.get("ok"):
+                    errors.append(reply)
+                    return
+
+        threads = [threading.Thread(target=submitter, args=(lane,))
+                   for lane in range(len(TENANTS))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(240)
+        stop_sampling.set()
+        sampler.join(30)
+        assert not errors, f"jobs failed during soak: {errors[:3]}"
+
+        final = watch.request("metrics")["metrics"]
+        stat = watch.request("stat")["stat"]
+
+        # Monotone, and exactly one count per accepted job.
+        assert samples == sorted(samples), (
+            "serve.jobs_done went backwards during the soak")
+        warmup = len(TENANTS)
+        assert final["serve.jobs_done"] == NJOBS + warmup
+        assert final["serve.failures"] == 0
+        assert stat["jobs_done"] == NJOBS + warmup
+        done_by_shard = sum(e["jobs_done"] for e in stat["shards"])
+        assert done_by_shard == NJOBS + warmup
+
+        # Flat descriptor table: the steady state leaked nothing.
+        assert _fd_count() == baseline_fd, (
+            f"fd leak: {baseline_fd} -> {_fd_count()} across {NJOBS} jobs")
+    finally:
+        for conn in conns:
+            conn.close()
+        try:
+            watch.request("stop")
+        except Exception:
+            pass
+        watch.close()
+        front.join(60)
+
+    assert not front.is_alive(), "async front end failed to shut down"
+    assert not os.path.exists(sock)
+    # Every shm segment the fleet created was unlinked at teardown.
+    leaked = _shm_entries() - shm_before
+    assert not leaked, f"leaked /dev/shm segments: {sorted(leaked)}"

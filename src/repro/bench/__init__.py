@@ -22,6 +22,7 @@ from repro.bench.experiments import (
     single_sweep_overhead,
     size_scaling,
     straggler_experiment,
+    structs_throughput,
     translation_ablation,
 )
 from repro.bench.tables import (
@@ -50,6 +51,7 @@ __all__ = [
     "sharded_throughput",
     "shm_dataplane",
     "straggler_experiment",
+    "structs_throughput",
     "processor_table",
     "size_table",
     "overhead_table",

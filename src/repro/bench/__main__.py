@@ -38,6 +38,7 @@ from repro.bench import (
     single_sweep_overhead,
     size_scaling,
     straggler_experiment,
+    structs_throughput,
     translation_ablation,
     ablation_table,
     dict_table,
@@ -382,6 +383,69 @@ def _main_tune(args) -> int:
     return 1 if failures else 0
 
 
+def _main_structs(args) -> int:
+    """The ``--structs`` suite: G1, batched vs naive DHash op throughput.
+
+    Gates on the repro.structs acceptance bar: from P=4 up, the batched
+    combining protocol must beat the naive one-exchange-per-element mode
+    by >= 3x in virtual makespan on the same insert+lookup workload."""
+    from repro.obs.registry import MetricsRegistry, write_run_json
+
+    t0 = time.time()
+    proc_counts = [1, 4] if args.fast else [1, 4, 8]
+    n = 128 if args.fast else 256
+    rows, runs = structs_throughput(NCUBE7, proc_counts=proc_counts, n=n,
+                                    lookups=n)
+
+    print(ablation_table(
+        f"G1  distributed-structure ops (repro.structs), {n} inserts + "
+        f"{n} lookups on a DHash — batched combining vs per-element "
+        "exchanges, virtual seconds",
+        rows,
+        ["batched_s", "naive_s", "speedup", "batched_msgs", "naive_msgs"],
+        key_header="procs",
+    ))
+    print()
+
+    failures = []
+    for row in rows:
+        if row.key >= 4 and row.values["speedup"] < 3.0:
+            failures.append(
+                f"P={row.key}: batched speedup {row.values['speedup']:.2f}x "
+                "(< 3.0x bar)"
+            )
+
+    if args.metrics_dir:
+        metrics_dir = pathlib.Path(args.metrics_dir)
+        metrics_dir.mkdir(parents=True, exist_ok=True)
+        for name, engine_result in runs.items():
+            run_path = metrics_dir / f"G1_structs_{name}.run.json"
+            write_run_json(engine_result, str(run_path), meta={
+                "backend": "sim", "experiment": "G1_structs", "leg": name,
+                "machine": NCUBE7.name,
+            })
+            reg = MetricsRegistry.from_run(engine_result)
+            (metrics_dir / f"G1_structs_{name}.metrics.json").write_text(
+                reg.to_json(indent=2) + "\n")
+        doc = {
+            "experiment": "G1_structs_throughput",
+            "fast": args.fast,
+            "rows": _rows_to_jsonable(rows),
+        }
+        (metrics_dir / "G1_structs_throughput.metrics.json").write_text(
+            json.dumps(doc, indent=2) + "\n")
+        print(f"[metrics written to {metrics_dir}]")
+
+    if failures:
+        for f in failures:
+            print(f"[FAIL: {f}]")
+        return 1
+    best = max(r.values["speedup"] for r in rows if r.key >= 4)
+    print(f"[structs suite done in {time.time() - t0:.1f}s wall: "
+          f"best batched speedup {best:.1f}x]")
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fast", action="store_true", help="small meshes only")
@@ -401,8 +465,13 @@ def main(argv=None) -> int:
     ap.add_argument("--shm", action="store_true",
                     help="run the shared-memory data-plane suite (D1) "
                          "instead of the paper tables")
+    ap.add_argument("--structs", action="store_true",
+                    help="run the distributed-structure throughput suite "
+                         "(G1) instead of the paper tables")
     args = ap.parse_args(argv)
 
+    if args.structs:
+        return _main_structs(args)
     if args.shm:
         return _main_shm(args)
     if args.tune:

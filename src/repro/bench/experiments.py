@@ -819,3 +819,68 @@ def shm_dataplane(
     ))
     runs["jacobi-shm"] = mp_res.engine
     return rows, runs
+
+
+def structs_throughput(
+    machine: MachineModel,
+    proc_counts: Optional[List[int]] = None,
+    n: int = 256,
+    lookups: int = 256,
+):
+    """G1: batched combining ops vs naive per-element ops on the DHash.
+
+    The same irregular workload — insert ``n`` seeded unique keys, then
+    look up ``lookups`` probes — runs twice per world size: once with
+    the batched protocol (each op is two combining exchanges through the
+    crystal router, whole batch in flight) and once in the naive mode
+    (one lock-step exchange per *element*, the shared-virtual-memory
+    strawman the paper argues against).  ``speedup`` is naive virtual
+    makespan over batched; the acceptance bar is >= 3x from P=4 up.
+    P=1 rows are reported but ungated — with every bucket local both
+    modes collapse to loop overhead.
+
+    The bucket space is sized so no rebalance triggers: the gate
+    measures the batching protocol, not amortized migration.
+
+    Returns ``(rows, runs)``; ``runs`` maps ``"P<p>_batched"`` /
+    ``"P<p>_naive"`` to merged sim :class:`RunResult` s for repro-run-v1
+    files.
+    """
+    import numpy as np
+
+    from repro.structs import DHash, merge_results
+
+    if proc_counts is None:
+        proc_counts = [1, 4, 8]
+    rng = np.random.default_rng(20260808)
+    keys = rng.permutation(4 * n)[:n].astype(np.int64)
+    vals = rng.standard_normal(n)
+    probe = keys[rng.integers(0, n, size=lookups)]
+
+    rows: List[AblationRow] = []
+    runs: Dict[str, object] = {}
+    for p in proc_counts:
+        spans = {}
+        for mode, combine in (("batched", True), ("naive", False)):
+            table = DHash(p, nbuckets=max(n, 3), machine=machine)
+            ins = table.insert_many(keys, vals, combine=combine)
+            assert not ins.info.get("rebalanced"), "bucket space was presized"
+            got = table.lookup_many(probe, combine=combine)
+            assert got.found.all(), "probe keys were all inserted"
+            merged = merge_results(table.op_results)
+            spans[mode] = merged
+            runs[f"P{p}_{mode}"] = merged
+        batched, naive = spans["batched"], spans["naive"]
+        rows.append(AblationRow(
+            key=p,
+            values={
+                "batched_s": batched.makespan,
+                "naive_s": naive.makespan,
+                "speedup": (naive.makespan / batched.makespan
+                            if batched.makespan > 0 else 1.0),
+                "batched_msgs": float(batched.total_messages()),
+                "naive_msgs": float(naive.total_messages()),
+                "items": float(batched.counter_sum("structs_items")),
+            },
+        ))
+    return rows, runs

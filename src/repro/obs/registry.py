@@ -89,6 +89,25 @@ class MetricsRegistry:
         reg.add("shm.hwm_bytes", result.counter_max("shm_hwm_bytes"))
         reg.add("shm.reclaimed_bytes",
                 result.counter_sum("shm_reclaimed_bytes"))
+        # Distributed-structure traffic under `structs.*` (all zero for
+        # mesh workloads).  `structs.items` over `structs.exchanges` is
+        # the combining win — elements moved per collective exchange;
+        # `structs.migrated_keys` vs `structs.rehashed_keys` separates
+        # entries that changed *rank* from entries that merely changed
+        # bucket during a rebalance.  See docs/structs.md.
+        reg.add("structs.batches", result.counter_sum("structs_batches"))
+        reg.add("structs.items", result.counter_sum("structs_items"))
+        reg.add("structs.exchanges", result.counter_sum("structs_exchanges"))
+        reg.add("structs.chain_scans",
+                result.counter_sum("structs_chain_scans"))
+        reg.add("structs.rebalances",
+                result.counter_max("structs_rebalances"))
+        reg.add("structs.migrated_keys",
+                result.counter_sum("structs_migrated_keys"))
+        reg.add("structs.rehashed_keys",
+                result.counter_sum("structs_rehashed_keys"))
+        reg.add("structs.pushed", result.counter_sum("structs_pushed"))
+        reg.add("structs.popped", result.counter_sum("structs_popped"))
         busy = sum(s.total_time() for s in result.stats)
         denom = result.makespan * result.nranks
         reg.add("parallel_efficiency", busy / denom if denom > 0 else 0.0)

@@ -33,7 +33,7 @@ import os
 from typing import Dict, Optional
 
 from repro.serve.queue import DEFAULT_TENANT, JobFuture, ShedError
-from repro.serve.server import JobServer, _jsonable
+from repro.serve.server import JobServer, UnknownJobKindError, _jsonable
 
 
 class AsyncFrontend:
@@ -71,12 +71,16 @@ class AsyncFrontend:
     async def _dispatch(self, req: Dict) -> Dict:
         cmd = req.get("cmd")
         if cmd == "submit":
+            if "kind" not in req:
+                return UnknownJobKindError(None).reply()
             try:
                 future = self.server.submit(
                     req["kind"], req.get("spec"),
                     priority=int(req.get("priority", 0)),
                     tenant=req.get("tenant", DEFAULT_TENANT),
                 )
+            except UnknownJobKindError as exc:
+                return exc.reply()
             except ShedError as shed:
                 return {"ok": False, "shed": True, "error": str(shed),
                         **shed.details}

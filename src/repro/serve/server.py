@@ -82,6 +82,27 @@ def register_job_kind(name: str, runner: JobRunner) -> None:
     JOB_KINDS[name] = runner
 
 
+class UnknownJobKindError(KaliError):
+    """A submitted job kind is not in the registry.
+
+    Carries the offending kind and the registered list so the protocol
+    fronts can return a structured reply instead of a stringified
+    exception."""
+
+    def __init__(self, kind: Any):
+        self.kind = kind
+        self.registered = sorted(JOB_KINDS)
+        super().__init__(
+            f"unknown job kind {kind!r} "
+            f"(registered: {', '.join(self.registered)})"
+        )
+
+    def reply(self) -> Dict[str, Any]:
+        """The structured protocol reply for this rejection."""
+        return {"ok": False, "unknown_kind": True, "error": str(self),
+                "kind": self.kind, "registered": self.registered}
+
+
 def _sha256(arr: np.ndarray) -> str:
     return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()
 
@@ -665,10 +686,7 @@ class JobServer:
         record dict.  Raises :class:`ShedError` when admission control
         rejects it (fleet full, or the tenant is over quota)."""
         if kind not in JOB_KINDS:
-            raise KaliError(
-                f"unknown job kind {kind!r} "
-                f"(registered: {', '.join(sorted(JOB_KINDS))})"
-            )
+            raise UnknownJobKindError(kind)
         spec = dict(spec or {})
         # Identical-spec jobs share shapes and indirection data, so they
         # may batch back-to-back on the warm mesh — and they route to
@@ -947,12 +965,16 @@ class JobServer:
             return {"ok": True, "pid": os.getpid(), "nranks": self.nranks,
                     "shards": len(self.shards)}
         if cmd == "submit":
+            if "kind" not in req:
+                return UnknownJobKindError(None).reply()
             try:
                 future = self.submit(
                     req["kind"], req.get("spec"),
                     priority=int(req.get("priority", 0)),
                     tenant=req.get("tenant", DEFAULT_TENANT),
                 )
+            except UnknownJobKindError as exc:
+                return exc.reply()
             except ShedError as shed:
                 return {"ok": False, "shed": True, "error": str(shed),
                         **shed.details}
@@ -1045,3 +1067,9 @@ class ServeConnection:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+# Structure job kinds (dht_build / dht_lookup / queue_stream / dht_wordcount)
+# register themselves on import; the module needs register_job_kind above,
+# so this import must stay at the bottom.
+import repro.structs.jobs  # noqa: E402,F401  (registration side effect)

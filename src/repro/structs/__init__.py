@@ -1,0 +1,50 @@
+"""repro.structs — global-view distributed data structures.
+
+The paper's shared-structure story, pushed past dense meshes: a
+distributed hash table (:class:`DHash`) and FIFO queue (:class:`DQueue`)
+with **batched collective ops** that route whole key/value batches
+through one combining exchange per hop instead of per-element messages.
+Both run unchanged on the virtual-time simulator, the forked-process
+backend, and warm serve pools, with bit-identical contents and counters.
+
+See ``docs/structs.md`` for the bucket layout, the batching protocol,
+rebalance semantics, and failure behavior under pool crash/retry.
+"""
+
+from repro.structs.dhash import (
+    BatchResult,
+    DHash,
+    LocalStore,
+    StructsError,
+    merge_results,
+)
+from repro.structs.dqueue import DQueue
+from repro.structs.exchange import combining_route, element_route, group_by_dest
+from repro.structs.hashing import (
+    bucket_dist,
+    bucket_of,
+    grow_buckets,
+    key_of_text,
+    mix64,
+    normalize_buckets,
+    owner_of,
+)
+
+__all__ = [
+    "BatchResult",
+    "DHash",
+    "DQueue",
+    "LocalStore",
+    "StructsError",
+    "bucket_dist",
+    "bucket_of",
+    "combining_route",
+    "element_route",
+    "group_by_dest",
+    "grow_buckets",
+    "key_of_text",
+    "merge_results",
+    "mix64",
+    "normalize_buckets",
+    "owner_of",
+]

@@ -1,0 +1,100 @@
+"""Key → bucket → owner mapping for the distributed structures.
+
+The whole correctness story of :mod:`repro.structs` rests on every rank
+agreeing, without communication, on where a key lives.  Three layers:
+
+* **mix64** — a splitmix64 finalizer over int64 keys.  Pure uint64
+  arithmetic (NumPy wraps unsigned overflow silently), so the same key
+  hashes identically on every rank, every backend, every platform.
+* **bucket** — ``mix64(key) % nbuckets``: the key's home in the global
+  bucket space.  Growth multiplies ``nbuckets`` by an **odd factor**
+  (default 3, :func:`grow_buckets`), which is the linear-hashing move:
+  ``mix % (f*n)`` is ``b + j*n`` for a uniform ``j in [0, f)``, so a key
+  stays put with probability ``old/new`` and the moved fraction is
+  exactly ``~ 1 - old/new`` — the property the rebalance tests pin
+  down.  (An *additive* grow like ``n -> 2n+1`` would re-bucket
+  essentially every key.)
+* **owner** — buckets are dealt round-robin over ranks by the paper's
+  :class:`~repro.distributions.cyclic.Cyclic` distribution: bucket ``b``
+  lives on rank ``b % P`` at local slot ``b // P``.
+
+Bucket counts are kept **odd** (:func:`normalize_buckets`), and the
+growth factor odd too, so they stay odd forever.  Worlds are powers of
+two, and a moved key's owner shifts by ``j*old_n mod P`` — if ``old_n``
+were a multiple of ``P``, growth would move keys between *buckets* but
+never between *ranks* and rebalancing would migrate nothing.  Odd bucket
+counts keep bucket space and rank space incommensurate, so growth
+genuinely redistributes ownership.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.distributions.cyclic import Cyclic
+
+# splitmix64 finalizer constants (Steele, Lea & Flood 2014).
+_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_M2 = np.uint64(0x94D049BB133111EB)
+_S1 = np.uint64(30)
+_S2 = np.uint64(27)
+_S3 = np.uint64(31)
+
+
+def mix64(keys: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer of each int64 key, as uint64."""
+    z = np.asarray(keys, dtype=np.int64).view(np.uint64).copy()
+    z ^= z >> _S1
+    z *= _M1
+    z ^= z >> _S2
+    z *= _M2
+    z ^= z >> _S3
+    return z
+
+
+def bucket_of(keys: np.ndarray, nbuckets: int) -> np.ndarray:
+    """Global bucket id of each key (int64 array in ``[0, nbuckets)``)."""
+    return (mix64(keys) % np.uint64(nbuckets)).astype(np.int64)
+
+
+def bucket_dist(nbuckets: int, nranks: int) -> Cyclic:
+    """The Cyclic deal of bucket space over ranks (bound, ready to query)."""
+    return Cyclic().bind(nbuckets, nranks)
+
+
+def owner_of(keys: np.ndarray, nbuckets: int, nranks: int) -> np.ndarray:
+    """Owning rank of each key — ``Cyclic`` owner of its bucket."""
+    return np.asarray(
+        bucket_dist(nbuckets, nranks).owner(bucket_of(keys, nbuckets)),
+        dtype=np.int64,
+    )
+
+
+def normalize_buckets(nbuckets: int) -> int:
+    """Round a requested bucket count up to the nearest odd ``>= 3``."""
+    n = max(int(nbuckets), 3)
+    return n if n % 2 else n + 1
+
+
+def grow_buckets(nbuckets: int, factor: int = 3) -> int:
+    """The next bucket-space size: an odd multiple of the current one.
+
+    Multiplying by an odd factor keeps the count odd (rank migration
+    stays live) *and* keeps the rehash consistent: only the
+    ``1 - 1/factor`` of keys whose linear-hash digit ``j`` is nonzero
+    change bucket (see the module docstring)."""
+    if factor < 3 or factor % 2 == 0:
+        raise ValueError(f"growth factor must be odd and >= 3, got {factor}")
+    return factor * nbuckets
+
+
+def key_of_text(token: str) -> int:
+    """A stable int64 key for a text token (blake2b-8; platform-free).
+
+    The driver keeps the ``key -> token`` map; the distributed side only
+    ever sees int64 keys.  Used by the word-count example and job kind.
+    """
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int(np.frombuffer(digest, dtype=np.int64)[0])

@@ -135,6 +135,21 @@ def test_malformed_and_unknown_requests_keep_the_connection(fleet):
         assert json.loads(fh.readline())["ok"]
 
 
+def test_unknown_kind_structured_over_async_front(fleet):
+    # Regression: the asyncio front must return the same structured
+    # unknown-kind rejection as the blocking front, not a stringified
+    # exception from the generic error wrapper.
+    _, client, _ = fleet
+    bad = client.request("submit", kind="no-such-kind")
+    assert bad["ok"] is False and bad["unknown_kind"] is True
+    assert bad["kind"] == "no-such-kind"
+    assert "jacobi" in bad["registered"]
+    missing = client.request("submit")
+    assert missing["ok"] is False and missing["unknown_kind"] is True
+    assert missing["kind"] is None
+    assert client.request("ping")["ok"]
+
+
 def test_stop_tears_everything_down(tmp_path):
     sock = str(tmp_path / "down.sock")
     server = JobServer(2, shards=2)

@@ -288,6 +288,23 @@ class TestSocketFront:
         assert not bad["ok"] and "unknown job kind" in bad["error"]
         assert client.request("ping")["ok"]  # still serving
 
+    def test_unknown_kind_reply_is_structured(self, live_server):
+        # Regression: an unknown kind used to surface as a stringified
+        # exception; it must be a machine-readable rejection naming the
+        # offending kind and what *is* registered.
+        _, client = live_server
+        bad = client.request("submit", kind="no-such-kind")
+        assert bad["unknown_kind"] is True
+        assert bad["kind"] == "no-such-kind"
+        assert "jacobi" in bad["registered"]
+        assert "dht_build" in bad["registered"]
+        # A submit with no kind at all gets the same structured shape,
+        # not a raw KeyError.
+        missing = client.request("submit")
+        assert not missing["ok"] and missing["unknown_kind"] is True
+        assert missing["kind"] is None and "error" in missing
+        assert client.request("ping")["ok"]  # still serving
+
 
 class TestCli:
     def test_submit_stat_via_cli(self, live_server, capsys):

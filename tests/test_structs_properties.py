@@ -1,0 +1,175 @@
+"""Hypothesis properties of the distributed structures.
+
+Three invariant families the subsystem's correctness argument names:
+
+* **bucket-ownership bijection** — every key maps to exactly one bucket
+  in range and exactly one owning rank, the map is a pure function of
+  the key (stable across worlds: the *bucket* never depends on P, the
+  owner is exactly the Cyclic deal of that bucket), and local slots
+  round-trip through the distribution.
+* **rebalance** — growing the bucket space preserves the exact contents,
+  and the keys that move are *exactly* those whose residue changed:
+  ``structs_rehashed_keys`` equals the count of ``mix % new != mix %
+  old`` and ``structs_migrated_keys`` the count of owner changes.  Over
+  a large fixed sample the moved fraction lands near the consistent-
+  rehash prediction ``1 - old/new``.
+* **queue order** — any interleaving of pushes and pops on any world
+  size replays a sequential FIFO exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structs import (
+    DHash,
+    DQueue,
+    bucket_dist,
+    bucket_of,
+    grow_buckets,
+    merge_results,
+    mix64,
+    normalize_buckets,
+    owner_of,
+)
+
+pytestmark = pytest.mark.timeout(300)
+
+keys_st = st.lists(
+    st.integers(min_value=-(2**62), max_value=2**62),
+    min_size=1, max_size=200, unique=True,
+)
+
+
+class TestBucketOwnershipBijection:
+    @given(keys=keys_st,
+           nbuckets=st.integers(min_value=3, max_value=500),
+           nranks=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=80, deadline=None)
+    def test_every_key_has_exactly_one_home(self, keys, nbuckets, nranks):
+        arr = np.asarray(keys, dtype=np.int64)
+        buckets = bucket_of(arr, nbuckets)
+        owners = owner_of(arr, nbuckets, nranks)
+        assert buckets.shape == owners.shape == arr.shape
+        assert (0 <= buckets).all() and (buckets < nbuckets).all()
+        assert (0 <= owners).all() and (owners < nranks).all()
+        # Deterministic: the same key always lands in the same place.
+        assert np.array_equal(buckets, bucket_of(arr, nbuckets))
+        # The owner is exactly the Cyclic deal of the bucket.
+        dist = bucket_dist(nbuckets, nranks)
+        assert np.array_equal(owners, np.asarray(dist.owner(buckets)))
+
+    @given(keys=keys_st, nbuckets=st.integers(min_value=3, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_bucket_independent_of_world_size(self, keys, nbuckets):
+        arr = np.asarray(keys, dtype=np.int64)
+        reference = bucket_of(arr, nbuckets)
+        for nranks in (1, 2, 4, 8):
+            assert np.array_equal(reference, bucket_of(arr, nbuckets))
+            owners = owner_of(arr, nbuckets, nranks)
+            assert np.array_equal(owners, reference % nranks)
+
+    @given(nbuckets=st.integers(min_value=3, max_value=300),
+           nranks=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=60, deadline=None)
+    def test_local_slots_round_trip(self, nbuckets, nranks):
+        dist = bucket_dist(nbuckets, nranks)
+        buckets = np.arange(nbuckets, dtype=np.int64)
+        owners = np.asarray(dist.owner(buckets))
+        locals_ = np.asarray(dist.to_local(buckets))
+        back = np.asarray(dist.to_global(owners, locals_))
+        assert np.array_equal(back, buckets)
+        # Bijection within each rank: no two buckets share (owner, slot).
+        pairs = set(zip(owners.tolist(), locals_.tolist()))
+        assert len(pairs) == nbuckets
+
+
+class TestRebalanceProperties:
+    @given(keyvals=st.lists(
+               st.tuples(st.integers(min_value=0, max_value=2**40),
+                         st.floats(min_value=-1e6, max_value=1e6,
+                                   allow_nan=False)),
+               min_size=1, max_size=60,
+               unique_by=lambda kv: kv[0]),
+           nranks=st.sampled_from([1, 2, 4]),
+           growths=st.integers(min_value=1, max_value=2))
+    @settings(max_examples=25, deadline=None)
+    def test_contents_preserved_and_move_counts_exact(self, keyvals, nranks,
+                                                      growths):
+        keys = np.asarray([k for k, _ in keyvals], dtype=np.int64)
+        vals = np.asarray([v for _, v in keyvals], dtype=np.float64)
+        old_n = 31
+        h = DHash(nranks, nbuckets=old_n)
+        h.insert_many(keys, vals)
+        before = h.snapshot()
+        new_n = old_n
+        for _ in range(growths):
+            new_n = grow_buckets(new_n)
+        h.rebalance(new_n)
+        after = h.snapshot()
+        assert np.array_equal(before["keys"], after["keys"])
+        assert np.array_equal(before["values"], after["values"])
+        # The exact predictions, computable from the hash alone:
+        mixed = mix64(keys)
+        rehashed = int(np.count_nonzero(
+            mixed % np.uint64(new_n) != mixed % np.uint64(old_n)))
+        old_owner = owner_of(keys, old_n, nranks)
+        new_owner = owner_of(keys, new_n, nranks)
+        migrated = int(np.count_nonzero(old_owner != new_owner))
+        merged = merge_results(h.op_results)
+        assert merged.counter_sum("structs_rehashed_keys") == rehashed
+        assert merged.counter_sum("structs_migrated_keys") == migrated
+        # And the snapshot agrees on where everything now lives.
+        assert np.array_equal(after["buckets"], bucket_of(after["keys"], new_n))
+        assert np.array_equal(after["owners"],
+                              owner_of(after["keys"], new_n, nranks))
+
+    def test_moved_fraction_tracks_consistent_rehash_prediction(self):
+        # Statistical leg on a large fixed sample: growing n -> 2n+1
+        # re-buckets ~ 1 - old/new ~ half the keys, not all of them.
+        rng = np.random.default_rng(42)
+        keys = rng.permutation(1 << 20)[:40000].astype(np.int64)
+        old_n, new_n = 1023, grow_buckets(1023)
+        mixed = mix64(keys)
+        moved = np.count_nonzero(
+            mixed % np.uint64(new_n) != mixed % np.uint64(old_n))
+        predicted = 1.0 - old_n / new_n
+        assert abs(moved / len(keys) - predicted) < 0.02
+
+
+class TestQueueOrder:
+    @given(script=st.lists(
+               st.tuples(st.integers(min_value=1, max_value=15),
+                         st.floats(min_value=0.0, max_value=1.0)),
+               min_size=1, max_size=15),
+           nranks=st.sampled_from([1, 2, 3, 4]))
+    @settings(max_examples=30, deadline=None)
+    def test_pop_order_equals_sequential_reference(self, script, nranks):
+        q = DQueue(nranks)
+        reference: list = []
+        cursor = 0
+        popped: list = []
+        counter = 0.0
+        for push_n, pop_frac in script:
+            vals = np.arange(counter, counter + push_n, dtype=np.float64)
+            counter += push_n
+            q.push_many(vals)
+            reference.extend(vals.tolist())
+            take = int(pop_frac * len(q))
+            if take:
+                popped.extend(q.pop_many(take).tolist())
+                cursor += take
+        popped.extend(q.pop_many(len(q)).tolist())
+        assert popped == reference
+
+    @given(n=st.integers(min_value=1, max_value=64),
+           nranks=st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=30, deadline=None)
+    def test_tickets_deal_round_robin(self, n, nranks):
+        q = DQueue(nranks)
+        q.push_many(np.ones(n))
+        snap = q.snapshot()
+        assert np.array_equal(snap["owners"], snap["tickets"] % nranks)
+        sizes = [len(seg) for seg in q._segments]
+        assert max(sizes) - min(sizes) <= 1

@@ -46,8 +46,9 @@ consistent, kept odd so growth moves ownership; see
 :mod:`repro.structs.hashing`) and entries migrate through one crystal
 exchange, *inside the same SPMD run*, gated by the same amortization
 rule the layout tuner uses (``gain x horizon > move_cost``, cf.
-``repro.tune.policy``).  The decision is computed from allreduced totals
-only, so every rank decides identically and sim/mp runs stay
+``repro.tune.policy``).  The decision is computed from the allreduced
+entry total and the driver-shipped global batch length — both identical
+on every rank — so every rank decides identically and sim/mp runs stay
 bit-identical.
 """
 
@@ -192,6 +193,7 @@ class _OpSpec:
     # rebalance policy (insert/add only; see _maybe_rebalance)
     max_load: float = 4.0
     horizon: int = 8
+    batch_len: int = 0          # global batch length (same on every rank)
     force_nbuckets: int = 0     # explicit rebalance target (op "rebalance")
 
 
@@ -256,10 +258,12 @@ def _maybe_rebalance(rank: Rank, spec: _OpSpec, store: LocalStore,
     """Grow bucket space and migrate when the load factor warrants it.
 
     SPMD-deterministic: the decision is a pure function of the allreduced
-    entry total, ``spec.nbuckets``, and the policy knobs — every rank
-    computes the same verdict with no coordinator.  The amortization rule
-    mirrors ``repro.tune.policy``: the predicted per-batch chain-scan
-    saving over the next ``horizon`` batches must exceed the one-time
+    entry total, the driver-shipped global batch length
+    (``spec.batch_len``, identical on every rank by construction),
+    ``spec.nbuckets``, and the policy knobs — every rank computes the
+    same verdict with no coordinator.  The amortization rule mirrors
+    ``repro.tune.policy``: the predicted per-batch chain-scan saving
+    over the next ``horizon`` batches must exceed the one-time
     migration cost, with the batch just applied as the size hint.
     """
     m = rank.machine
@@ -279,7 +283,11 @@ def _maybe_rebalance(rank: Rank, spec: _OpSpec, store: LocalStore,
             new_n = grow_buckets(new_n)
         # Amortization (tuner idiom: gain x horizon > move_cost).  Gain:
         # expected chain slots no longer scanned per batch of this size.
-        batch_hint = max(len(spec.keys) * rank.size, 1)
+        # The hint must be the *global* batch length — rank-local slice
+        # lengths differ on ragged batches, and a verdict computed from
+        # them would split the world at the threshold (some ranks enter
+        # the collective migration, others return early: deadlock).
+        batch_hint = max(spec.batch_len, 1)
         gain = (total / old_n - total / new_n) / 2.0 * batch_hint * m.flop
         moved_frac = 1.0 - old_n / new_n
         move_cost = (moved_frac * total
@@ -394,7 +402,10 @@ def _dhash_op_program(rank: Rank):
     found, result = _merge_replies(spec, returned)
 
     info: Dict[str, Any] = {}
-    if spec.op in ("insert", "add") and spec.combine:
+    if spec.op in ("insert", "add"):
+        # Both modes rebalance: the naive mode is a *routing* baseline,
+        # so the table geometry (nbuckets) must stay identical to the
+        # combining path for the same key sequence.
         nbuckets, info = yield from _maybe_rebalance(rank, spec, store,
                                                      tag=8, phase=phase)
     return _OpOutcome(store=store, pos=spec.pos, found=found, result=result,
@@ -573,6 +584,7 @@ class DHash(_StructBase):
                 store=self._stores[r],
                 rounds=rounds, combine=combine,
                 max_load=self.max_load, horizon=self.rebalance_horizon,
+                batch_len=len(keys),
             )
             for r, (lo, hi) in enumerate(slices)
         ]

@@ -99,7 +99,7 @@ def _dqueue_op_program(rank: Rank):
     if spec.op != "pop":  # pragma: no cover - guarded at the driver
         raise StructsError(f"unknown dqueue op {spec.op!r}")
 
-    arrays = {"tickets": spec.tickets, "src_pos": spec.tickets.copy()}
+    arrays = {"tickets": spec.tickets}
     if spec.combine:
         packets = group_by_dest(owners, arrays)
         delivered = yield from combining_route(rank, packets, tag=2,

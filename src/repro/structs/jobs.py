@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import re
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -95,8 +95,9 @@ def run_dht_build(shard, spec: Dict[str, Any]) -> Tuple[RunResult, Dict]:
 
 def run_dht_lookup(shard, spec: Dict[str, Any]) -> Tuple[RunResult, Dict]:
     fingerprint = _table_fingerprint(shard, spec)
-    cache: Dict[str, DHash] = getattr(shard, "structs_tables", None) or {}
-    if not hasattr(shard, "structs_tables"):
+    cache: Optional[Dict[str, DHash]] = getattr(shard, "structs_tables", None)
+    if cache is None:
+        cache = {}
         shard.structs_tables = cache
     table = cache.get(fingerprint)
     reused = table is not None

@@ -155,6 +155,38 @@ class TestDHashSemantics:
         assert not info["rebalanced"]
         assert info["reason"] == "under-load"
 
+    def test_rebalance_verdict_is_global_on_ragged_batches(self):
+        # Regression: the amortization size hint must be the
+        # driver-shipped *global* batch length.  97 keys over 4 ranks
+        # slice 25/24/24/24; with NCUBE7 and horizon=1 the amortization
+        # threshold sits at ~98.8 hinted items — strictly between the
+        # rank-local guesses 100 and 96 — so a slice-derived hint splits
+        # the world: rank 0 enters the collective migration while the
+        # rest return early, and the op deadlocks.  The global hint (97)
+        # keeps every rank on the same side of the threshold.
+        keys, vals = _keys(97, seed=6)
+        h = DHash(4, nbuckets=7, max_load=4.0, rebalance_horizon=1)
+        res = h.insert_many(keys, vals)
+        assert res.info["reason"] == "not-amortized"
+        assert h.nbuckets == 7 and h.rebalances == 0
+        got = h.lookup_many(keys)
+        assert got.found.all()
+        assert np.array_equal(got.values, vals)
+
+    def test_naive_mode_rebalances_like_batched(self):
+        # The naive mode is a routing baseline only: the same key
+        # sequence must land in the same table geometry either way.
+        keys, vals = _keys(200, seed=7)
+        a, b = DHash(4, nbuckets=5), DHash(4, nbuckets=5)
+        a.insert_many(keys, vals, combine=True)
+        b.insert_many(keys, vals, combine=False)
+        assert a.rebalances >= 1
+        assert b.rebalances == a.rebalances
+        assert b.nbuckets == a.nbuckets
+        sa, sb = a.snapshot(), b.snapshot()
+        for name in sa:
+            assert np.array_equal(sa[name], sb[name])
+
     def test_naive_mode_matches_batched_results(self):
         keys, vals = _keys(50, seed=4)
         a, b = DHash(4, nbuckets=67), DHash(4, nbuckets=67)

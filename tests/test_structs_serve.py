@@ -64,6 +64,26 @@ class TestDhtLookupWarmPath:
         hashes = {r["summary"]["values_sha256"] for r in records}
         assert len(hashes) == 1
 
+    def test_preexisting_empty_cache_still_persists_tables(self):
+        # Regression: `getattr(...) or {}` treated an empty cache dict
+        # as missing and built each table into a fresh orphan dict that
+        # never landed on the shard — reuse silently disabled forever on
+        # any shard whose cache was left empty (e.g. after a crashed
+        # build).
+        from types import SimpleNamespace
+
+        from repro.machine.cost import NCUBE7
+        from repro.structs.jobs import run_dht_lookup
+
+        shard = SimpleNamespace(nranks=2, machine=NCUBE7, pool=None,
+                                structs_tables={})
+        spec = {"n": 40, "nbuckets": 17, "lookups": 20}
+        _, first = run_dht_lookup(shard, spec)
+        assert first["table_reused"] is False
+        assert shard.structs_tables          # the build landed on the shard
+        _, second = run_dht_lookup(shard, spec)
+        assert second["table_reused"] is True
+
     def test_different_specs_get_different_tables(self):
         with JobServer(2) as server:
             a = server.submit("dht_lookup", {"n": 60, "seed": 1}) \

@@ -1,0 +1,51 @@
+"""repro.autopilot — server-resident online tuning daemon.
+
+The serve fleet replays learned plans; the tuner learns them inside a
+run.  The autopilot closes the remaining gap: a *workload shift under
+traffic*, where every warm shard keeps replaying a stale plan.  It
+mines finished-job records into per-family load profiles, detects drift
+with windowed hysteresis statistics, re-plans offline in shadow jobs on
+a spare shard, promotes through an automatic A/B comparison, and
+records every decision in a ``repro-autopilot-v1`` journal.
+
+See :mod:`repro.autopilot.daemon` for the full state machine and
+``docs/tuning.md`` for the operator's view.
+"""
+
+from repro.autopilot.daemon import (
+    INTERNAL_TENANT,
+    SHADOW_KIND,
+    Autopilot,
+    AutopilotPolicy,
+)
+from repro.autopilot.drift import DRIFT_SIGNALS, DriftDetector, DriftPolicy
+from repro.autopilot.journal import (
+    AUTOPILOT_FORMAT,
+    DECISIONS,
+    AutopilotJournal,
+)
+from repro.autopilot.profiles import (
+    AUTOPILOT_PROFILERS,
+    PlanInputs,
+    has_profiler,
+    profiler_for,
+    register_profiler,
+)
+
+__all__ = [
+    "AUTOPILOT_FORMAT",
+    "AUTOPILOT_PROFILERS",
+    "Autopilot",
+    "AutopilotJournal",
+    "AutopilotPolicy",
+    "DECISIONS",
+    "DRIFT_SIGNALS",
+    "DriftDetector",
+    "DriftPolicy",
+    "INTERNAL_TENANT",
+    "PlanInputs",
+    "SHADOW_KIND",
+    "has_profiler",
+    "profiler_for",
+    "register_profiler",
+]

@@ -1,0 +1,150 @@
+"""CLI for the server-resident autopilot: ``python -m repro.autopilot``.
+
+Talks to a running serve front end (blocking or asyncio — the
+``autopilot`` socket command is served by both) over its unix socket:
+
+    python -m repro.autopilot status --socket /tmp/repro-serve.sock
+    python -m repro.autopilot explain --family 'jacobi_served:{...}'
+    python -m repro.autopilot force-replan --kind jacobi_served \\
+        --spec '{"nodes": 400, "seed": 7}'
+
+``status`` is the fleet-level counter view (drift events, shadow runs,
+A/B jobs, promote/reject/rollback decisions, journal tail); ``explain``
+dumps per-family state machines and detector internals; ``force-replan``
+queues an immediate shadow campaign for one family, bypassing drift
+detection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+from repro.serve.server import ServeClient
+
+DEFAULT_SOCKET = "/tmp/repro-serve.sock"
+
+
+def _client(args) -> ServeClient:
+    return ServeClient(args.socket, timeout=args.timeout)
+
+
+def _fail(reply: Dict) -> "int":
+    print(f"error: {reply.get('error', reply)}", file=sys.stderr)
+    return 1
+
+
+def _cmd_status(args) -> int:
+    reply = _client(args).request("autopilot", op="status")
+    if not reply.get("ok"):
+        return _fail(reply)
+    ap = reply["autopilot"]
+    if args.json:
+        print(json.dumps(ap, indent=2))
+        return 0
+    print("autopilot:")
+    for name in ("families", "campaigns_active", "drift_events",
+                 "shadow_runs", "ab_jobs", "promoted", "rejected",
+                 "rolled_back", "decisions"):
+        print(f"  {name:<18} {ap.get(name)}")
+    print(f"  journal            {ap.get('journal_path')}")
+    tail = ap.get("journal_tail") or []
+    if tail:
+        print("  recent events:")
+        for entry in tail:
+            extra = entry.get("decision") or entry.get("reason") or ""
+            print(f"    #{entry.get('seq'):<4} {entry.get('event'):<20} "
+                  f"{extra}")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    reply = _client(args).request("autopilot", op="explain",
+                                  family=args.family)
+    if not reply.get("ok"):
+        return _fail(reply)
+    detail = reply["explain"]
+    if args.json:
+        print(json.dumps(detail, indent=2))
+        return 0
+    pol = detail["policy"]
+    print(f"policy: window={pol['window']} sustain={pol['sustain']} "
+          f"cooldown={pol['cooldown']} ab_jobs={pol['ab_jobs']} "
+          f"min_win={pol['min_win']} verify_jobs={pol['verify_jobs']}")
+    families = detail["families"]
+    if not families:
+        print("no families observed yet")
+        return 0
+    for fam in families:
+        det = fam["detector"]
+        print(f"family {fam['key']}")
+        print(f"  state={fam['state']} jobs_seen={fam['jobs_seen']} "
+              f"mean_wall_s={fam['mean_wall_s']} "
+              f"last_decision={fam['last_decision']}")
+        print(f"  plan_key={fam['plan_key']}")
+        print(f"  detector: fired={det['fired']} means={det['means']} "
+              f"armed={det['armed']}")
+    return 0
+
+
+def _cmd_force_replan(args) -> int:
+    spec = json.loads(args.spec) if args.spec else {}
+    reply = _client(args).request("autopilot", op="force-replan",
+                                  kind=args.kind, spec=spec)
+    if not reply.get("ok"):
+        return _fail(reply)
+    if args.json:
+        print(json.dumps(reply, indent=2))
+        return 0
+    print(f"force-replan queued for family {reply['family']}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.autopilot",
+        description="inspect and steer the serve fleet's online tuning "
+                    "daemon",
+    )
+    # Connection flags live on a parent parser so they are accepted both
+    # before and after the subcommand (`status --socket ...` works).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--socket", default=DEFAULT_SOCKET,
+                        help="serve front-end unix socket path")
+    common.add_argument("--timeout", type=float, default=30.0,
+                        help="socket timeout in seconds")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_status = sub.add_parser("status", parents=[common],
+                              help="fleet-level autopilot counters and "
+                                   "journal tail")
+    p_status.add_argument("--json", action="store_true",
+                          help="raw JSON output")
+    p_status.set_defaults(fn=_cmd_status)
+
+    p_explain = sub.add_parser("explain", parents=[common],
+                               help="per-family state machine and "
+                                    "detector internals")
+    p_explain.add_argument("--family", default=None,
+                           help="restrict to one family key")
+    p_explain.add_argument("--json", action="store_true",
+                           help="raw JSON output")
+    p_explain.set_defaults(fn=_cmd_explain)
+
+    p_force = sub.add_parser("force-replan", parents=[common],
+                             help="queue an immediate shadow campaign")
+    p_force.add_argument("--kind", required=True, help="job kind")
+    p_force.add_argument("--spec", default=None,
+                         help="job spec as JSON (family selector)")
+    p_force.add_argument("--json", action="store_true",
+                         help="raw JSON output")
+    p_force.set_defaults(fn=_cmd_force_replan)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,690 @@
+"""The autopilot: a server-resident online tuning daemon.
+
+One :class:`Autopilot` lives inside a :class:`~repro.serve.server.
+JobServer` (``autopilot=`` knob) and closes the loop the tuner left
+open: the tuner learns layouts *inside* a run, the serve fleet *replays*
+them — but a workload shift under traffic leaves every warm shard
+serving a stale plan forever.  The autopilot watches for exactly that
+and repairs it, per (job kind, content fingerprint) family:
+
+1. **observe** — every finished job's engine result is condensed into a
+   scalar drift sample (:func:`repro.tune.signals.profile_sample`) and
+   fed to the family's windowed :class:`~repro.autopilot.drift.
+   DriftDetector` (per-signal hysteresis on the shared
+   :class:`~repro.serve.autoscale.HysteresisLatch` clock primitive);
+2. **drift** — the detector fires; if the kind has a registered
+   planning-input profiler the family opens a campaign (else the event
+   is journaled as unactionable);
+3. **shadow** — an internal ``__autopilot_shadow__`` job runs
+   ``tune.policy.plan()`` against the family's recorded tally inputs on
+   a *spare* shard (the least-queued non-home shard), pinned through
+   the rendezvous router's exclude mechanism and never charged to any
+   tenant;
+4. **A/B** — ``ab_jobs`` twin jobs per arm: the A arm pinned to the
+   family's home shard under the incumbent store, the B arm pinned to
+   the spare shard whose ``tune_dir`` is temporarily swapped to a
+   staging store holding the candidate plan.  Jobs/sec and the model's
+   move-cost-adjusted totals must both favor the candidate — and every
+   twin pair must be bit-identical;
+5. **promote / rollback** — the winner is hot-swapped into the shared
+   :class:`~repro.tune.store.PlanStore` with a stamped compare-and-swap
+   (so a concurrent shard store-back cannot be silently clobbered), the
+   decision lands in the ``repro-autopilot-v1`` journal and the
+   ``autopilot.*`` registry metrics, and a post-promotion verify window
+   rolls the plan back if the family's wall time regresses.
+
+Everything decision-shaped happens in :meth:`Autopilot.step`, which the
+daemon thread calls on an interval but tests call directly — the same
+fake-clock discipline as the autoscaler.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.autopilot.drift import DriftDetector, DriftPolicy
+from repro.autopilot.journal import AutopilotJournal
+from repro.autopilot.profiles import has_profiler, profiler_for
+from repro.errors import KaliError
+from repro.machine.stats import RankStats, RunResult
+from repro.tune.policy import plan, plan_to_store_doc
+from repro.tune.signals import ProfileWindow, profile_sample
+from repro.tune.store import PlanStore
+
+INTERNAL_TENANT = "__autopilot__"
+SHADOW_KIND = "__autopilot_shadow__"
+
+
+# --- the shadow job kind ---------------------------------------------------
+
+
+def _service_time(record: Dict) -> float:
+    """One job's service time: the engine's modeled makespan when the
+    kind reports it (deterministic, layout-sensitive — what the paper's
+    tables measure), else the serving wall clock."""
+    virtual = (record.get("summary") or {}).get("virtual_s")
+    if virtual:
+        return float(virtual)
+    return float(record.get("wall_s", 0.0))
+
+
+def _empty_result(nranks: int) -> RunResult:
+    return RunResult(nranks=nranks, clocks=[0.0] * nranks,
+                     stats=[RankStats(rank=r) for r in range(nranks)],
+                     values=[None] * nranks)
+
+
+def _run_shadow_plan(shard, spec: Dict) -> Tuple[RunResult, Dict]:
+    """Offline re-plan for one family, run as a (spare-shard) job.
+
+    Running this as a job — not inline on the daemon thread — serializes
+    the planning CPU behind the spare shard's queue, so re-planning can
+    never starve the shards that are serving tenant traffic.
+    """
+    kind = spec.get("kind")
+    target = dict(spec.get("spec") or {})
+    sweeps = int(spec.get("sweeps", 64))
+    inputs = profiler_for(kind)(shard.nranks, target)
+    report = plan(
+        inputs.n, shard.nranks, shard.machine, inputs.table,
+        counts=inputs.counts, points=inputs.points, current=inputs.current,
+        sweeps=sweeps, table_offset=inputs.table_offset,
+        row_weights=inputs.row_weights,
+    )
+    summary = {
+        "recommendation": report["recommendation"],
+        "reason": report["reason"],
+        "layout": report["layout"],
+        "arrays": list(inputs.arrays),
+        "predicted_total_stay": report["predicted_total_stay"],
+        "predicted_total_move": report["predicted_total_move"],
+    }
+    return _empty_result(shard.nranks), summary
+
+
+def _register_shadow_kind() -> None:
+    from repro.serve.server import register_job_kind
+
+    register_job_kind(SHADOW_KIND, _run_shadow_plan)
+
+
+_register_shadow_kind()
+
+
+# --- policy and state ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AutopilotPolicy:
+    """Knobs of the observe → drift → shadow → A/B → promote loop."""
+
+    interval: float = 0.2          # daemon step period, seconds
+    drift: DriftPolicy = field(default_factory=DriftPolicy)
+    shadow_sweeps: int = 64        # amortization horizon handed to plan()
+    ab_jobs: int = 2               # twin jobs per A/B arm
+    min_win: float = 0.05          # B jobs/sec must beat A by this fraction
+    verify_jobs: int = 4           # post-promotion jobs watched
+    verify_grace: int = 1          # in-flight jobs skipped before watching
+    rollback_ratio: float = 1.5    # verify mean service vs B-arm mean
+    max_campaigns: int = 1         # concurrent families in shadow/A-B
+    ab_timeout: float = 300.0      # seconds before a campaign is abandoned
+    journal_path: Optional[str] = None  # default: <tune_dir>/autopilot-journal.jsonl
+
+    def __post_init__(self):
+        if self.ab_jobs < 1:
+            raise KaliError(f"ab_jobs must be >= 1, got {self.ab_jobs}")
+        if self.verify_jobs < 1:
+            raise KaliError(
+                f"verify_jobs must be >= 1, got {self.verify_jobs}")
+        if self.verify_grace < 0:
+            raise KaliError(
+                f"verify_grace must be >= 0, got {self.verify_grace}")
+        if self.min_win < 0:
+            raise KaliError(f"min_win must be >= 0, got {self.min_win}")
+        if self.rollback_ratio <= 1.0:
+            raise KaliError(
+                f"rollback_ratio must exceed 1.0, got {self.rollback_ratio}")
+        if self.max_campaigns < 1:
+            raise KaliError(
+                f"max_campaigns must be >= 1, got {self.max_campaigns}")
+
+
+class Campaign:
+    """One family's in-flight shadow/A-B run (daemon-thread private)."""
+
+    def __init__(self, started: float):
+        self.started = started
+        self.shadow_future = None
+        self.report: Optional[Dict] = None
+        self.candidate_doc: Optional[Dict] = None
+        self.staging_dir: Optional[str] = None
+        self.home_shard: Optional[str] = None
+        self.spare_shard: Optional[str] = None
+        self.old_doc: Optional[Dict] = None
+        self.old_stamp = None
+        self.a_futures: List = []
+        self.b_futures: List = []
+        self.b_mean_service: Optional[float] = None
+        self.verify_times: List[float] = []
+        self.verify_skipped = 0
+
+
+class Family:
+    """Everything the autopilot knows about one (kind, spec) family."""
+
+    def __init__(self, key: str, kind: str, spec: Dict,
+                 drift_policy: DriftPolicy):
+        self.key = key
+        self.kind = kind
+        self.spec = dict(spec)
+        self.plan_key: Optional[str] = None
+        self.window = ProfileWindow(maxlen=64)
+        self.detector = DriftDetector(drift_policy)
+        self.state = "observe"      # observe | shadow | ab | verify
+        self.campaign: Optional[Campaign] = None
+        self.last_decision: Optional[str] = None
+        self.force_pending = False
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "kind": self.kind,
+            "state": self.state,
+            "plan_key": self.plan_key,
+            "jobs_seen": self.window.total,
+            "mean_wall_s": round(self.window.mean("wall_s"), 6),
+            "last_decision": self.last_decision,
+            "detector": self.detector.describe(),
+        }
+
+
+# --- the daemon ------------------------------------------------------------
+
+
+class Autopilot:
+    """Server-resident online tuning daemon (see module docstring)."""
+
+    def __init__(self, server, policy: Optional[AutopilotPolicy] = None):
+        if server.tune_dir is None:
+            raise KaliError(
+                "the autopilot needs the fleet's tune_dir (a PlanStore "
+                "directory) to promote plans into — pass tune_dir= to "
+                "JobServer")
+        self.server = server
+        self.policy = policy or AutopilotPolicy()
+        self.store = PlanStore(server.tune_dir)
+        journal_path = self.policy.journal_path or os.path.join(
+            server.tune_dir, "autopilot-journal.jsonl")
+        self.journal = AutopilotJournal(journal_path)
+        self.families: Dict[str, Family] = {}
+        self.drift_events = 0
+        self.shadow_runs = 0
+        self.ab_jobs_run = 0
+        self.promoted = 0
+        self.rejected = 0
+        self.rolled_back = 0
+        self._inbox: deque = deque()
+        self._force_requests: deque = deque()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # --- lifecycle -------------------------------------------------------
+
+    def start(self) -> "Autopilot":
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-serve-autopilot", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(10.0)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.policy.interval):
+            try:
+                self.step()
+            except Exception:
+                # The autopilot is an optimizer: it must never take the
+                # serving path down with it.  Whatever broke, the next
+                # step re-evaluates from current state.
+                continue
+
+    # --- mining (called from shard scheduler threads) --------------------
+
+    def observe_job(self, record: Dict, result) -> None:
+        """Condense one finished job into a drift sample and queue it
+        for the daemon thread.  Cheap; never raises past the caller's
+        guard.  Internal (shadow/A-B) jobs are excluded — their records
+        are read from their futures by the campaign logic instead, and
+        feeding them to the detector would double-count the family."""
+        if not record.get("ok") or record.get("tenant") == INTERNAL_TENANT:
+            return
+        if record.get("kind") == SHADOW_KIND:
+            return
+        sample = profile_sample(result, wall_s=record.get("wall_s", 0.0))
+        with self._lock:
+            self._inbox.append((record, sample))
+
+    # --- the decision step (fake-clock friendly) -------------------------
+
+    def step(self, now: Optional[float] = None) -> None:
+        """Drain mined samples, advance every family's state machine.
+        Runs on the daemon thread in production; tests call it directly."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            batch = list(self._inbox)
+            self._inbox.clear()
+            forces = list(self._force_requests)
+            self._force_requests.clear()
+        for record, sample in batch:
+            self._ingest(record, sample, now)
+        for kind, spec in forces:
+            self._force(kind, spec, now)
+        for family in list(self.families.values()):
+            if family.state == "shadow":
+                self._poll_shadow(family, now)
+            elif family.state == "ab":
+                self._poll_ab(family, now)
+
+    def _family_for(self, kind: str, spec: Dict) -> Family:
+        from repro.serve.router import route_key
+
+        key = route_key(kind, spec)
+        family = self.families.get(key)
+        if family is None:
+            family = Family(key, kind, spec, self.policy.drift)
+            self.families[key] = family
+        return family
+
+    def _ingest(self, record: Dict, sample: Dict, now: float) -> None:
+        family = self._family_for(record["kind"], record.get("spec") or {})
+        family.window.push(sample)
+        summary = record.get("summary") or {}
+        if summary.get("plan_key"):
+            family.plan_key = summary["plan_key"]
+        if family.state == "verify":
+            campaign = family.campaign
+            if campaign.verify_skipped < self.policy.verify_grace:
+                # A job in flight when the promotion landed still ran
+                # the old plan; judging the new plan by it would be a
+                # guaranteed false rollback.
+                campaign.verify_skipped += 1
+                return
+            campaign.verify_times.append(
+                sample.get("virtual_s") or sample.get("wall_s", 0.0))
+            if len(campaign.verify_times) >= self.policy.verify_jobs:
+                self._verify_promotion(family, now)
+            return
+        if family.state != "observe":
+            return  # campaign in flight: keep mining, decide later
+        if family.force_pending:
+            family.force_pending = False
+            self._open_campaign(family, now, forced=True)
+            return
+        event = family.detector.observe(sample)
+        if event is None:
+            return
+        with self._lock:
+            self.drift_events += 1
+        self.journal.append("drift", family=family.key, kind=family.kind,
+                            signals=event["signals"], sample=event["sample"])
+        if not has_profiler(family.kind):
+            self.journal.append("drift-unactionable", family=family.key,
+                                kind=family.kind,
+                                reason="no-profiler-registered")
+            return
+        self._open_campaign(family, now)
+
+    # --- shadow ----------------------------------------------------------
+
+    def _active_campaigns(self) -> int:
+        return sum(1 for f in self.families.values()
+                   if f.state in ("shadow", "ab"))
+
+    def _spare_shard(self, home: Optional[str]) -> Optional[str]:
+        """The least-queued shard that is not the family's home."""
+        with self.server._fleet_lock:
+            others = [s for s in self.server.shards if s.name != home]
+            if not others:
+                return None
+            return min(others, key=lambda s: (s.queue.pending(), s.name)).name
+
+    def _open_campaign(self, family: Family, now: float,
+                       forced: bool = False) -> None:
+        if self._active_campaigns() >= self.policy.max_campaigns:
+            self.journal.append("campaign-deferred", family=family.key,
+                                reason="max-campaigns")
+            return
+        if family.plan_key is None:
+            self.journal.append("campaign-skipped", family=family.key,
+                                reason="no-plan-key")
+            return
+        campaign = Campaign(now)
+        campaign.home_shard = self.server.shard_for(family.key).name
+        campaign.spare_shard = self._spare_shard(campaign.home_shard)
+        shadow_target = campaign.spare_shard or campaign.home_shard
+        try:
+            campaign.shadow_future = self.server.submit_internal(
+                SHADOW_KIND,
+                {"kind": family.kind, "spec": family.spec,
+                 "sweeps": self.policy.shadow_sweeps},
+                shard_name=shadow_target, tenant=INTERNAL_TENANT)
+        except KaliError as exc:
+            self.journal.append("campaign-skipped", family=family.key,
+                                reason=f"shadow-submit: {exc}")
+            return
+        family.campaign = campaign
+        family.state = "shadow"
+        with self._lock:
+            self.shadow_runs += 1
+        self.journal.append("shadow-start", family=family.key,
+                            shard=shadow_target, forced=forced)
+
+    def _poll_shadow(self, family: Family, now: float) -> None:
+        campaign = family.campaign
+        if self._expired(family, campaign, now):
+            return
+        if not campaign.shadow_future.done():
+            return
+        try:
+            record = campaign.shadow_future.result(timeout=0)
+        except Exception as exc:
+            self._abandon(family, f"shadow-failed: {exc}")
+            return
+        if not record.get("ok"):
+            self._abandon(family, f"shadow-failed: {record.get('error')}")
+            return
+        report = record["summary"]
+        campaign.report = report
+        if report.get("recommendation") == "stay" or not report.get("layout"):
+            self.journal.append("shadow-stay", family=family.key,
+                                reason=report.get("reason"))
+            self._close_campaign(family)
+            return
+        campaign.candidate_doc = plan_to_store_doc(
+            report, report["arrays"], key=family.plan_key,
+            meta={"source": "autopilot", "family": family.key})
+        self.journal.append("shadow-plan", family=family.key,
+                            recommendation=report["recommendation"],
+                            reason=report.get("reason"))
+        self._open_ab(family, now)
+
+    # --- A/B -------------------------------------------------------------
+
+    def _stage_candidate(self, campaign: Campaign, plan_key: str) -> str:
+        """A staging PlanStore: every current entry copied (so unrelated
+        families routed to the B shard keep their plans) plus the
+        candidate under the family's key."""
+        staging_dir = tempfile.mkdtemp(prefix=".autopilot-ab-",
+                                       dir=self.server.tune_dir)
+        for entry in self.store.entries():
+            shutil.copy2(entry, os.path.join(staging_dir, entry.name))
+        staging = PlanStore(staging_dir)
+        staging.store(plan_key, campaign.candidate_doc)
+        return staging_dir
+
+    def _open_ab(self, family: Family, now: float) -> None:
+        campaign = family.campaign
+        if campaign.spare_shard is None:
+            self._abandon(family, "no-spare-shard")
+            return
+        campaign.old_doc, campaign.old_stamp = \
+            self.store.load_stamped(family.plan_key)
+        campaign.staging_dir = self._stage_candidate(campaign,
+                                                     family.plan_key)
+        spare = self.server._shard_named(campaign.spare_shard)
+        if spare is None:
+            self._abandon(family, "spare-shard-retired")
+            return
+        spare.tune_dir = campaign.staging_dir
+        try:
+            for _ in range(self.policy.ab_jobs):
+                campaign.a_futures.append(self.server.submit_internal(
+                    family.kind, family.spec,
+                    shard_name=campaign.home_shard, tenant=INTERNAL_TENANT))
+                campaign.b_futures.append(self.server.submit_internal(
+                    family.kind, family.spec,
+                    shard_name=campaign.spare_shard, tenant=INTERNAL_TENANT))
+        except KaliError as exc:
+            self._restore_spare(campaign)
+            self._abandon(family, f"ab-submit: {exc}")
+            return
+        family.state = "ab"
+        with self._lock:
+            self.ab_jobs_run += 2 * self.policy.ab_jobs
+        self.journal.append("ab-start", family=family.key,
+                            a_shard=campaign.home_shard,
+                            b_shard=campaign.spare_shard,
+                            k=self.policy.ab_jobs)
+
+    def _poll_ab(self, family: Family, now: float) -> None:
+        campaign = family.campaign
+        if self._expired(family, campaign, now):
+            return
+        futures = campaign.a_futures + campaign.b_futures
+        if not all(f.done() for f in futures):
+            return
+        self._restore_spare(campaign)
+        try:
+            a_records = [f.result(timeout=0) for f in campaign.a_futures]
+            b_records = [f.result(timeout=0) for f in campaign.b_futures]
+        except Exception as exc:
+            self._abandon(family, f"ab-failed: {exc}")
+            return
+        self._decide_ab(family, a_records, b_records)
+
+    def _decide_ab(self, family: Family, a_records: List[Dict],
+                   b_records: List[Dict]) -> None:
+        """The promotion decision from finished A/B twin records.
+        Split out so tests can drive it with synthetic records."""
+        campaign = family.campaign
+        if not all(r.get("ok") for r in a_records + b_records):
+            self._reject(family, "ab-job-failed")
+            return
+        hashes = {r.get("summary", {}).get("solution_sha256")
+                  for r in a_records + b_records}
+        if len(hashes) != 1:
+            self._reject(family, "not-bit-identical")
+            return
+        a_times = [_service_time(r) for r in a_records]
+        b_times = [_service_time(r) for r in b_records]
+        if len(a_times) >= 2:
+            # The first job per arm is warmup: the B shard pays one-time
+            # inspector + schedule-cache builds under the candidate
+            # layout that steady state never sees.  Bit-identity is
+            # still checked on every job, warmup included.
+            a_times, b_times = a_times[1:], b_times[1:]
+        a_mean = sum(a_times) / len(a_times)
+        b_mean = sum(b_times) / len(b_times)
+        a_rate = 1.0 / a_mean if a_mean > 0 else 0.0
+        b_rate = 1.0 / b_mean if b_mean > 0 else 0.0
+        report = campaign.report or {}
+        model_stay = report.get("predicted_total_stay")
+        model_move = report.get("predicted_total_move")
+        model_ok = (model_stay is None or model_move is None
+                    or model_move < model_stay)
+        measured_ok = b_rate >= a_rate * (1.0 + self.policy.min_win)
+        metrics = {
+            "a_jobs_per_s": round(a_rate, 6),
+            "b_jobs_per_s": round(b_rate, 6),
+            "a_mean_service_s": round(a_mean, 6),
+            "b_mean_service_s": round(b_mean, 6),
+            "model_total_stay": model_stay,
+            "model_total_move": model_move,
+        }
+        if not (measured_ok and model_ok):
+            reason = "ab-loss" if not measured_ok else "model-loss"
+            self._reject(family, reason, **metrics)
+            return
+        landed = self.store.store(family.plan_key, campaign.candidate_doc,
+                                  expect=campaign.old_stamp)
+        if not landed:
+            # A shard stored back concurrently; re-read and CAS once
+            # more — the A/B verdict still stands against whatever the
+            # store-back wrote (it came from the same scrambled family).
+            _, fresh = self.store.load_stamped(family.plan_key)
+            landed = self.store.store(family.plan_key,
+                                      campaign.candidate_doc, expect=fresh)
+        if not landed:
+            self._reject(family, "store-race", **metrics)
+            return
+        campaign.b_mean_service = b_mean
+        campaign.verify_times = []
+        family.state = "verify"
+        family.last_decision = "promoted"
+        with self._lock:
+            self.promoted += 1
+        self.journal.append("decision", decision="promoted",
+                            family=family.key, plan_key=family.plan_key,
+                            **metrics)
+        self._cleanup_staging(campaign)
+
+    def _verify_promotion(self, family: Family, now: float) -> None:
+        campaign = family.campaign
+        mean = sum(campaign.verify_times) / len(campaign.verify_times)
+        threshold = self.policy.rollback_ratio * (campaign.b_mean_service
+                                                  or mean)
+        if campaign.b_mean_service and mean > threshold:
+            cur_doc, cur_stamp = self.store.load_stamped(family.plan_key)
+            if campaign.old_doc is None:
+                self.store.discard(family.plan_key)
+            else:
+                self.store.store(family.plan_key, campaign.old_doc,
+                                 expect=cur_stamp)
+            family.last_decision = "rolled-back"
+            with self._lock:
+                self.rolled_back += 1
+            self.journal.append(
+                "decision", decision="rolled-back", family=family.key,
+                plan_key=family.plan_key,
+                verify_mean_service_s=round(mean, 6),
+                b_mean_service_s=round(campaign.b_mean_service, 6))
+        else:
+            self.journal.append("verify-ok", family=family.key,
+                                verify_mean_service_s=round(mean, 6))
+        self._close_campaign(family)
+
+    # --- campaign bookkeeping --------------------------------------------
+
+    def _expired(self, family: Family, campaign: Campaign,
+                 now: float) -> bool:
+        if now - campaign.started <= self.policy.ab_timeout:
+            return False
+        self._restore_spare(campaign)
+        self._abandon(family, "campaign-timeout")
+        return True
+
+    def _restore_spare(self, campaign: Campaign) -> None:
+        if campaign.spare_shard is None or campaign.staging_dir is None:
+            return
+        spare = self.server._shard_named(campaign.spare_shard)
+        if spare is not None and spare.tune_dir == campaign.staging_dir:
+            spare.tune_dir = self.server.tune_dir
+
+    def _cleanup_staging(self, campaign: Campaign) -> None:
+        if campaign.staging_dir:
+            shutil.rmtree(campaign.staging_dir, ignore_errors=True)
+            campaign.staging_dir = None
+
+    def _reject(self, family: Family, reason: str, **metrics) -> None:
+        family.last_decision = "rejected"
+        with self._lock:
+            self.rejected += 1
+        self.journal.append("decision", decision="rejected",
+                            family=family.key, plan_key=family.plan_key,
+                            reason=reason, **metrics)
+        self._close_campaign(family)
+
+    def _abandon(self, family: Family, reason: str) -> None:
+        self.journal.append("campaign-abandoned", family=family.key,
+                            reason=reason)
+        self._close_campaign(family)
+
+    def _close_campaign(self, family: Family) -> None:
+        if family.campaign is not None:
+            self._restore_spare(family.campaign)
+            self._cleanup_staging(family.campaign)
+        family.campaign = None
+        family.state = "observe"
+
+    # --- control plane ----------------------------------------------------
+
+    def force_replan(self, kind: str, spec: Optional[Dict] = None) -> str:
+        """Queue an immediate shadow re-plan for a family, bypassing
+        drift detection (the CLI's ``force-replan``).  Returns the
+        family key; the campaign opens on the next daemon step (or,
+        for a family with traffic history, immediately on this call's
+        step when driven synchronously in tests)."""
+        from repro.serve.router import route_key
+
+        spec = dict(spec or {})
+        key = route_key(kind, spec)
+        with self._lock:
+            self._force_requests.append((kind, spec))
+        return key
+
+    def _force(self, kind: str, spec: Dict, now: float) -> None:
+        family = self._family_for(kind, spec)
+        if family.state != "observe":
+            self.journal.append("campaign-deferred", family=family.key,
+                                reason="already-active")
+            return
+        if family.plan_key is None:
+            # No job of this family has run yet — arm the force so the
+            # first mined record opens the campaign with its plan key.
+            family.force_pending = True
+            self.journal.append("force-armed", family=family.key)
+            return
+        self._open_campaign(family, now, forced=True)
+
+    # --- introspection ----------------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            counts = {
+                "drift_events": self.drift_events,
+                "shadow_runs": self.shadow_runs,
+                "ab_jobs": self.ab_jobs_run,
+                "promoted": self.promoted,
+                "rejected": self.rejected,
+                "rolled_back": self.rolled_back,
+            }
+        counts["decisions"] = (counts["promoted"] + counts["rejected"]
+                               + counts["rolled_back"])
+        return {
+            **counts,
+            "families": len(self.families),
+            "campaigns_active": self._active_campaigns(),
+            "journal_path": self.journal.path,
+            "journal_tail": self.journal.tail(5),
+        }
+
+    def explain(self, family_key: Optional[str] = None) -> Dict[str, Any]:
+        families = self.families
+        if family_key is not None:
+            families = {k: f for k, f in families.items()
+                        if k == family_key}
+        return {
+            "policy": {
+                "window": self.policy.drift.window,
+                "sustain": self.policy.drift.sustain,
+                "cooldown": self.policy.drift.cooldown,
+                "ab_jobs": self.policy.ab_jobs,
+                "min_win": self.policy.min_win,
+                "verify_jobs": self.policy.verify_jobs,
+            },
+            "families": [f.describe() for f in families.values()],
+        }

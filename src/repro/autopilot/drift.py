@@ -1,0 +1,145 @@
+"""Windowed drift detection over per-job load-profile samples.
+
+The detector answers one question per job family: *has the workload
+shifted enough that the stored plan is probably stale?*  It reads the
+scalar samples the mining layer emits per finished job
+(:func:`repro.tune.signals.profile_sample`) and watches the rolling
+windowed mean of each drift signal —
+
+* ``imbalance`` — max/mean executor busy time (load-imbalance ratio),
+* ``remote_fraction`` — nonlocal references over all references,
+* ``invalidation_rate`` — schedule-cache invalidations per executor
+  iteration (mesh/layout churn),
+
+each against its own two-watermark :class:`HysteresisLatch` (the same
+primitive the autoscaler's clock runs on — see
+:mod:`repro.serve.autoscale`).  A signal fires when its windowed mean
+has sat at or above the high watermark for ``sustain`` consecutive
+samples; after firing it is *disarmed* until the mean falls back to the
+low watermark, and a global ``cooldown`` (in samples) separates any two
+firings.  Between the two rules a noisy signal bouncing inside the band
+— or hovering just above the high mark after a fire — cannot flap the
+daemon into replanning loops.
+
+The clock is the sample index (one tick per observed job), injectable
+through ``observe(..., now=...)`` so tests drive the detector
+deterministically without any wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.errors import KaliError
+from repro.serve.autoscale import HysteresisLatch
+from repro.tune.signals import ProfileWindow
+
+#: drift signal name -> (policy high field, policy low field)
+DRIFT_SIGNALS = {
+    "imbalance": ("imbalance_high", "imbalance_low"),
+    "remote_fraction": ("remote_high", "remote_low"),
+    "invalidation_rate": ("invalidation_high", "invalidation_low"),
+}
+
+
+@dataclass(frozen=True)
+class DriftPolicy:
+    """Watermarks and timing for the drift detector (see module doc).
+
+    All times are in *samples* (observed jobs of the family), not
+    seconds — a family that receives no traffic cannot drift.
+    """
+
+    window: int = 4            # rolling-mean width (and min samples)
+    sustain: int = 2           # consecutive samples the mean must hold high
+    cooldown: int = 8          # min samples between any two firings
+    imbalance_high: float = 1.6
+    imbalance_low: float = 1.2
+    remote_high: float = 0.35
+    remote_low: float = 0.15
+    invalidation_high: float = 0.5
+    invalidation_low: float = 0.1
+
+    def __post_init__(self):
+        if self.window < 1:
+            raise KaliError(f"window must be >= 1, got {self.window}")
+        if self.sustain < 1:
+            raise KaliError(f"sustain must be >= 1, got {self.sustain}")
+        if self.cooldown < 0:
+            raise KaliError(f"cooldown must be >= 0, got {self.cooldown}")
+        for high_name, low_name in DRIFT_SIGNALS.values():
+            high, low = getattr(self, high_name), getattr(self, low_name)
+            if high <= low:
+                raise KaliError(
+                    f"{high_name} ({high}) must exceed {low_name} ({low}) "
+                    f"— the gap is the hysteresis band")
+
+
+class DriftDetector:
+    """One family's drift state: window, latches, arm/cooldown logic."""
+
+    MAX_EVENTS = 32
+
+    def __init__(self, policy: Optional[DriftPolicy] = None):
+        self.policy = policy or DriftPolicy()
+        self.window = ProfileWindow(maxlen=self.policy.window)
+        self._latches = {
+            name: HysteresisLatch(getattr(self.policy, high),
+                                  getattr(self.policy, low))
+            for name, (high, low) in DRIFT_SIGNALS.items()
+        }
+        self._armed = {name: True for name in DRIFT_SIGNALS}
+        self._clock = -1
+        self._last_fire: Optional[float] = None
+        self.fired = 0
+        self.events: List[Dict[str, Any]] = []
+
+    def observe(self, sample: Dict[str, float],
+                now: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """Feed one job's sample; returns a drift event dict when the
+        detector fires, else None.  ``now`` defaults to the sample
+        index (0-based) — pass an explicit clock to test with."""
+        self._clock += 1
+        now = float(self._clock) if now is None else now
+        self.window.push(sample)
+        if len(self.window) < self.policy.window:
+            return None
+        in_cooldown = (self._last_fire is not None
+                       and now - self._last_fire < self.policy.cooldown)
+        triggered: Dict[str, float] = {}
+        for name, latch in self._latches.items():
+            mean = self.window.mean(name)
+            latch.observe(mean, now)
+            if latch.low_since is not None:
+                self._armed[name] = True  # rearm: fell back through low
+            if (self._armed[name]
+                    and latch.high_held(now, self.policy.sustain - 1)
+                    and not in_cooldown):
+                triggered[name] = mean
+        if not triggered:
+            return None
+        for name in triggered:
+            self._armed[name] = False
+            self._latches[name].clear_high()
+        self._last_fire = now
+        self.fired += 1
+        event = {
+            "t": now,
+            "sample": self.window.total - 1,  # index of the firing sample
+            "signals": {k: round(v, 6) for k, v in triggered.items()},
+        }
+        self.events.append(event)
+        del self.events[:-self.MAX_EVENTS]
+        return event
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "samples": self.window.total,
+            "fired": self.fired,
+            "armed": dict(self._armed),
+            "last_fire": self._last_fire,
+            "means": {name: round(self.window.mean(name), 6)
+                      for name in DRIFT_SIGNALS},
+            "events": list(self.events),
+        }

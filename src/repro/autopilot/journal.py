@@ -1,0 +1,96 @@
+"""The autopilot's decision journal (format ``repro-autopilot-v1``).
+
+Every consequential autopilot transition — drift fired, shadow plan
+finished, A/B opened, plan promoted / rejected / rolled back — appends
+one JSON line.  The journal is the audit trail the bench gate and the
+CLI read: a promotion that is not in the journal did not happen.
+
+Entries are small dicts with a fixed envelope (``format``, ``seq``,
+``t``, ``event``) plus event-specific fields; the file is append-only
+JSON-lines, so a crashed daemon loses at most the line being written
+and a reader can always take the longest valid prefix.  Foreign or
+garbled lines are skipped on read, mirroring the corruption tolerance
+of the plan store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+AUTOPILOT_FORMAT = "repro-autopilot-v1"
+
+#: terminal decision values an A/B campaign can record
+DECISIONS = ("promoted", "rejected", "rolled-back")
+
+
+class AutopilotJournal:
+    """Append-only event log, in memory and (optionally) on disk."""
+
+    MAX_MEMORY = 256
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self.seq = 0
+        self.entries: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        if path:
+            os.makedirs(os.path.dirname(os.path.abspath(path)),
+                        exist_ok=True)
+
+    def append(self, event: str, **fields) -> Dict[str, Any]:
+        """Record one event; returns the entry as written."""
+        with self._lock:
+            self.seq += 1
+            entry = {
+                "format": AUTOPILOT_FORMAT,
+                "seq": self.seq,
+                "t": time.time(),
+                "event": event,
+                **fields,
+            }
+            self.entries.append(entry)
+            del self.entries[:-self.MAX_MEMORY]
+            if self.path:
+                with open(self.path, "a") as fh:
+                    fh.write(json.dumps(entry) + "\n")
+                    fh.flush()
+        return entry
+
+    def tail(self, n: int = 10) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self.entries[-n:])
+
+    def decisions(self) -> Dict[str, int]:
+        """Counts of terminal decisions recorded so far (memory view)."""
+        counts = {d: 0 for d in DECISIONS}
+        with self._lock:
+            for entry in self.entries:
+                d = entry.get("decision")
+                if d in counts:
+                    counts[d] += 1
+        return counts
+
+    @staticmethod
+    def read(path: str) -> List[Dict[str, Any]]:
+        """Parse a journal file; skips garbled or foreign lines."""
+        entries: List[Dict[str, Any]] = []
+        try:
+            with open(path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        doc = json.loads(line)
+                    except ValueError:
+                        continue
+                    if (isinstance(doc, dict)
+                            and doc.get("format") == AUTOPILOT_FORMAT):
+                        entries.append(doc)
+        except OSError:
+            return []
+        return entries

@@ -10,6 +10,7 @@ from repro.bench.experiments import (
     ExperimentRow,
     AblationRow,
     adaptive_vs_static,
+    autopilot_shift,
     caching_ablation,
     distribution_ablation,
     drop_rate_experiment,
@@ -38,6 +39,7 @@ __all__ = [
     "ExperimentRow",
     "AblationRow",
     "adaptive_vs_static",
+    "autopilot_shift",
     "processor_scaling",
     "size_scaling",
     "single_sweep_overhead",

@@ -26,6 +26,7 @@ import time
 from repro.bench import calibration as cal
 from repro.bench import (
     adaptive_vs_static,
+    autopilot_shift,
     caching_ablation,
     distribution_ablation,
     drop_rate_experiment,
@@ -446,6 +447,82 @@ def _main_structs(args) -> int:
     return 0
 
 
+def _main_autopilot(args) -> int:
+    """The ``--autopilot`` suite: P1, workload-shift recovery, gated.
+
+    The acceptance bar (ISSUE P1): after an induced mid-stream workload
+    shift, the autopilot fleet's steady-state jobs/sec must recover to
+    >= 1.15x the frozen-plan fleet within the bounded job budget, with
+    every job bit-identical to its frozen twin, and the promotion
+    decision recorded in the repro-autopilot-v1 journal and the
+    ``autopilot.*`` registry metrics."""
+    from repro.obs.registry import MetricsRegistry
+
+    t0 = time.time()
+    nodes = 400 if args.fast else 600
+    max_jobs = 16 if args.fast else 24
+    tail = 4 if args.fast else 5
+    rows, info = autopilot_shift(NCUBE7, nprocs=2, nodes=nodes,
+                                 max_jobs=max_jobs, tail=tail)
+
+    print(ablation_table(
+        f"P1  online tuning autopilot (repro.autopilot), {nodes}-node "
+        f"frozen-plan Jacobi stream after a mid-stream family shift — "
+        f"steady-state tail of {tail} jobs, modeled service seconds",
+        rows,
+        ["jobs_per_s", "tail_service_s", "tail_wall_s", "recovery"],
+        key_header="fleet",
+    ))
+    print()
+    promoted_at = info["promoted_at_job"]
+    print(f"[promotion landed after phase-2 job {promoted_at} "
+          f"of {info['phase2_jobs']} "
+          f"({info['forced_replans']} forced replans); "
+          f"decisions: {[d.get('decision') for d in info['decisions']]}]")
+
+    by_key = {r.key: r.values for r in rows}
+    recovery = by_key["autopilot"]["recovery"]
+    reg = MetricsRegistry.from_fleet({"autopilot": info["autopilot"],
+                                      "shards": []})
+
+    failures = []
+    if recovery < 1.15:
+        failures.append(
+            f"steady-state recovery {recovery:.3f}x frozen (< 1.15x)")
+    if promoted_at is None:
+        failures.append(
+            f"no promotion within the {max_jobs}-job budget")
+    if not info["twins_identical"]:
+        failures.append("a job's solution diverged from its frozen twin")
+    if not any(d.get("decision") == "promoted" for d in info["decisions"]):
+        failures.append("no promoted decision in the autopilot journal")
+    if reg.get("autopilot.promoted", 0) < 1:
+        failures.append("autopilot.promoted metric missing from registry")
+    for msg in failures:
+        print(f"[FAIL: {msg}]")
+
+    if args.metrics_dir:
+        metrics_dir = pathlib.Path(args.metrics_dir)
+        metrics_dir.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "experiment": "P1_autopilot_shift",
+            "fast": args.fast,
+            "rows": _rows_to_jsonable(rows),
+            "promoted_at_job": promoted_at,
+            "phase2_jobs": info["phase2_jobs"],
+            "twins_identical": info["twins_identical"],
+            "forced_replans": info["forced_replans"],
+            "decisions": info["decisions"],
+            "registry": reg.as_dict(),
+        }
+        (metrics_dir / "P1_autopilot_shift.metrics.json").write_text(
+            json.dumps(doc, indent=2) + "\n")
+        print(f"[metrics written to {metrics_dir}]")
+
+    print(f"\n[autopilot suite done in {time.time() - t0:.1f}s wall]")
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fast", action="store_true", help="small meshes only")
@@ -468,8 +545,13 @@ def main(argv=None) -> int:
     ap.add_argument("--structs", action="store_true",
                     help="run the distributed-structure throughput suite "
                          "(G1) instead of the paper tables")
+    ap.add_argument("--autopilot", action="store_true",
+                    help="run the online-tuning autopilot recovery suite "
+                         "(P1) instead of the paper tables")
     args = ap.parse_args(argv)
 
+    if args.autopilot:
+        return _main_autopilot(args)
     if args.structs:
         return _main_structs(args)
     if args.shm:

@@ -143,6 +143,12 @@ class MetricsRegistry:
                           "shm_ship_bytes", "shm_reclaimed_bytes",
                           "disk_entries", "disk_bytes"):
                 reg.add(f"{prefix}.{short}", entry.get(short, 0))
+        autopilot = stat.get("autopilot")
+        if autopilot:
+            for short in ("families", "campaigns_active", "drift_events",
+                          "shadow_runs", "ab_jobs", "promoted", "rejected",
+                          "rolled_back", "decisions"):
+                reg.add(f"autopilot.{short}", autopilot.get(short, 0))
         return reg
 
     # --- access ----------------------------------------------------------

@@ -70,6 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="grow/shrink the fleet on sustained queue depth")
     p.add_argument("--max-shards", type=int, default=4,
                    help="autoscaler ceiling (with --autoscale)")
+    p.add_argument("--autopilot", action="store_true",
+                   help="run the online tuning daemon (drift detection, "
+                        "shadow re-planning, A/B plan promotion; needs "
+                        "--tune-dir)")
     p.add_argument("--threaded-front", action="store_true",
                    help="serve with the legacy thread-per-connection "
                         "front instead of the asyncio front end")
@@ -144,6 +148,7 @@ def _cmd_start(args) -> int:
         max_pending=args.max_pending,
         shard_depth=args.shard_depth,
         autoscale=autoscale,
+        autopilot=args.autopilot,
     )
     front = "threaded" if args.threaded_front else "async"
     print(f"repro.serve: {args.nranks} ranks x {args.shards} shards, "
@@ -199,6 +204,12 @@ def _print_stat(stat: dict) -> None:
         print(f"autoscale: decisions={a['decisions']} "
               f"band=[{a['low_depth']}, {a['high_depth']}] "
               f"shards<=[{a['min_shards']}, {a['max_shards']}]")
+    if "autopilot" in stat:
+        ap = stat["autopilot"]
+        print(f"autopilot: families={ap['families']} "
+              f"drift={ap['drift_events']} shadow={ap['shadow_runs']} "
+              f"ab_jobs={ap['ab_jobs']} promoted={ap['promoted']} "
+              f"rejected={ap['rejected']} rolled_back={ap['rolled_back']}")
 
 
 def main(argv=None) -> int:

@@ -37,6 +37,57 @@ from typing import Any, Dict, List, Optional
 from repro.errors import KaliError
 
 
+class HysteresisLatch:
+    """Two-watermark comparator with sustain clocks.
+
+    The shared hysteresis primitive of the fleet: the autoscaler drives
+    one with wall time, the autopilot's drift detector drives one per
+    signal with a job-sample clock.  :meth:`observe` notes which side of
+    the band ``value`` sits on at time ``now`` (the band between the
+    watermarks clears both sides — "leave it alone"); ``high_held`` /
+    ``low_held`` answer whether a side has been held for a dwell.  The
+    clock is whatever the caller passes — seconds, samples — which is
+    what makes the latch testable without sleeping.
+    """
+
+    __slots__ = ("high", "low", "high_since", "low_since")
+
+    def __init__(self, high: float, low: float):
+        if high <= low:
+            raise KaliError(
+                f"high watermark ({high}) must exceed low ({low}) — "
+                f"the gap is the hysteresis band")
+        self.high = high
+        self.low = low
+        self.high_since: Optional[float] = None
+        self.low_since: Optional[float] = None
+
+    def observe(self, value: float, now: float) -> None:
+        if value >= self.high:
+            if self.high_since is None:
+                self.high_since = now
+            self.low_since = None
+        elif value <= self.low:
+            if self.low_since is None:
+                self.low_since = now
+            self.high_since = None
+        else:
+            self.high_since = None
+            self.low_since = None
+
+    def high_held(self, now: float, dwell: float) -> bool:
+        return self.high_since is not None and now - self.high_since >= dwell
+
+    def low_held(self, now: float, dwell: float) -> bool:
+        return self.low_since is not None and now - self.low_since >= dwell
+
+    def clear_high(self) -> None:
+        self.high_since = None
+
+    def clear_low(self) -> None:
+        self.low_since = None
+
+
 @dataclass(frozen=True)
 class AutoscalePolicy:
     """Watermarks and timing for fleet scaling (see module docstring)."""
@@ -77,8 +128,7 @@ class Autoscaler:
         self.policy = policy
         self.events: List[Dict[str, Any]] = []
         self.decisions = 0
-        self._high_since: Optional[float] = None
-        self._low_since: Optional[float] = None
+        self._latch = HysteresisLatch(policy.high_depth, policy.low_depth)
         self._last_change = float("-inf")
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -126,37 +176,25 @@ class Autoscaler:
         avg = depth / max(nshards, 1)
         pol = self.policy
 
-        if avg >= pol.high_depth:
-            self._high_since = now if self._high_since is None \
-                else self._high_since
-            self._low_since = None
-        elif avg <= pol.low_depth:
-            self._low_since = now if self._low_since is None \
-                else self._low_since
-            self._high_since = None
-        else:  # the hysteresis band: no pressure either way
-            self._high_since = None
-            self._low_since = None
+        self._latch.observe(avg, now)
 
         if now - self._last_change < pol.cooldown:
             return None
 
-        if (self._high_since is not None
-                and now - self._high_since >= pol.up_after
+        if (self._latch.high_held(now, pol.up_after)
                 and nshards < pol.max_shards):
             shard = server.add_shard()
             self._record(now, "up", nshards + 1, avg, shard.name)
-            self._high_since = None
+            self._latch.clear_high()
             self._last_change = now
             return "up"
 
-        if (self._low_since is not None
-                and now - self._low_since >= pol.down_after
+        if (self._latch.low_held(now, pol.down_after)
                 and nshards > pol.min_shards
                 and not any(s.busy for s in shards)):
             name = server.retire_shard()
             self._record(now, "down", nshards - 1, avg, name)
-            self._low_since = None
+            self._latch.clear_low()
             self._last_change = now
             return "down"
         return None

@@ -98,6 +98,17 @@ class ShardRouter:
             raise KaliError("router has no shards to route to")
         return max(shards, key=lambda s: (_score(s, key), s))
 
+    def pin_exclusions(self, target: str) -> Tuple[str, ...]:
+        """The exclude tuple that pins routing onto ``target``: every
+        other member.  The autopilot's A/B promoter routes its twin
+        jobs through the normal rendezvous path with this set — one
+        arm pinned to the incumbent-plan shard, one to the candidate —
+        so pinning composes with crash-replay exclusion instead of
+        bypassing the router."""
+        if target not in self._shards:
+            raise KaliError(f"shard {target!r} not in the router")
+        return tuple(s for s in self._shards if s != target)
+
     def table(self, keys: List[str]) -> Dict[str, str]:
         """Route many keys at once (test/diagnostic convenience)."""
         return {k: self.route(k) for k in keys}

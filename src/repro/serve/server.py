@@ -239,10 +239,60 @@ def _run_jacobi_adaptive(server: "Shard",
     return result.engine, summary
 
 
+def _run_jacobi_served(server: "Shard",
+                       spec: Dict) -> Tuple[RunResult, Dict]:
+    """Frozen-plan unstructured-mesh Jacobi: the autopilot's workload.
+
+    Submitted with a deliberately scrambled (spec-seeded) owner map and
+    **no online tuner** — the job replays whatever layout the shard's
+    plan store holds for its fingerprint (zero mid-run moves) and runs
+    scrambled forever otherwise.  That frozen-ness is the point: only
+    the server-resident autopilot can rescue a family after a workload
+    shift, by learning a plan offline and hot-swapping the store.  The
+    relax kernel's summation order is layout-independent, so the
+    solution hash is bit-identical whichever layout the job lands in.
+
+    Runs on the simulated machine (not the shard's warm pool), so the
+    record carries the *modeled* service time (``virtual_s``) the paper
+    reports — the quantity a layout change moves, and the one the
+    autopilot's A/B compares deterministically.
+    """
+    from repro.apps.jacobi import build_jacobi
+    from repro.distributions.custom import Custom
+    from repro.meshes.unstructured import random_unstructured_mesh
+
+    nodes = int(spec.get("nodes", 400))
+    sweeps = int(spec.get("sweeps", 8))
+    seed = int(spec.get("seed", 7))
+    mesh, points = random_unstructured_mesh(nodes, seed=seed,
+                                            locality_sort=False)
+    rng = np.random.default_rng(seed + 1)
+    scrambled = Custom(rng.integers(0, server.nranks, size=mesh.n))
+    init = np.random.default_rng(int(spec.get("init_seed", 12345))).random(
+        mesh.n)
+    prog = build_jacobi(
+        mesh, server.nranks, machine=server.machine, dist=scrambled,
+        initial=init,
+        schedule_cache_dir=server.cache_dir, tune=server.tune_dir,
+    )
+    plan_key = (prog.ctx.tune_fingerprint()
+                if server.tune_dir is not None else None)
+    result = prog.run(sweeps)
+    summary = {
+        "n": mesh.n, "sweeps": sweeps,
+        "plan_key": plan_key,
+        "plan_applied": prog.ctx.tune_applied,
+        "virtual_s": result.engine.makespan,
+        "solution_sha256": _sha256(prog.solution),
+    }
+    return result.engine, summary
+
+
 register_job_kind("jacobi", _run_jacobi)
 register_job_kind("cg", _run_cg)
 register_job_kind("kali", _run_kali)
 register_job_kind("jacobi_adaptive", _run_jacobi_adaptive)
+register_job_kind("jacobi_served", _run_jacobi_served)
 
 _DISK_COUNTERS = (
     "schedule_cache_disk_hits",
@@ -355,7 +405,8 @@ class Shard:
                 survivors = batch[i + 1:]
                 if job.retries < server.retry_budget:
                     job.retries += 1
-                    self.retries += 1
+                    with server._lock:
+                        self.retries += 1
                     server._replay([job], exclude=self.name,
                                    reason="pool-crash")
                 else:
@@ -369,7 +420,8 @@ class Shard:
 
     def _crash_record(self, job: Job, crash: PoolCrashError,
                       batch_size: int, batch_index: int) -> Dict:
-        self.failures += 1
+        # Counter accounting happens in server._finish, the single
+        # terminal point, under the server lock (stat-sum invariant).
         return {
             "id": job.job_id,
             "kind": job.kind,
@@ -413,7 +465,6 @@ class Shard:
                 wall_s=time.monotonic() - t0,
                 pool_reused=self.pool.last_pool_reused,
             )
-            self.failures += 1
             return record
         record.update(
             ok=True,
@@ -430,24 +481,38 @@ class Shard:
         # boundaries through the shm segments vs the control pipes.
         record["shm_bytes"] = result.counter_sum("shm_bytes_sent")
         record["pipe_bytes"] = result.counter_sum("pipe_bytes_sent")
-        self.jobs_done += 1
         if server.metrics_dir:
             record["metrics_file"] = server._write_metrics(job, record,
                                                            result)
+        server._observe(record, result)
         return record
 
     # --- introspection ---------------------------------------------------
 
-    def describe(self) -> Dict[str, Any]:
+    def counter_snapshot(self) -> Dict[str, int]:
+        """This shard's job counters.  Callers that need cross-shard
+        consistency (``stat``) take one snapshot per shard under the
+        *server* lock — the lock every mutation holds — so the sums a
+        reply reports can never tear against ``jobs_done``/``failures``
+        totals taken in the same hold."""
+        return {
+            "jobs_done": self.jobs_done,
+            "failures": self.failures,
+            "retries": self.retries,
+            "replays_in": self.replays_in,
+        }
+
+    def describe(self,
+                 counters: Optional[Dict[str, int]] = None) -> Dict[str, Any]:
+        if counters is None:
+            with self.server._lock:
+                counters = self.counter_snapshot()
         entry: Dict[str, Any] = {
             "name": self.name,
             "warm": self.pool.started,
             "busy": self.busy,
             "queued": self.queue.pending(),
-            "jobs_done": self.jobs_done,
-            "failures": self.failures,
-            "retries": self.retries,
-            "replays_in": self.replays_in,
+            **counters,
             "sheds": self.queue.sheds,
             "rebuilds": self.pool.rebuilds,
             "meshes_built": self.pool.meshes_built,
@@ -514,6 +579,12 @@ class JobServer:
     autoscale:
         An :class:`~repro.serve.autoscale.AutoscalePolicy` to grow and
         shrink the fleet on sustained queue depth (None = fixed fleet).
+    autopilot:
+        Truthy enables the server-resident online tuning daemon
+        (:mod:`repro.autopilot`): pass ``True`` for defaults or an
+        :class:`~repro.autopilot.daemon.AutopilotPolicy`.  The daemon
+        mines per-job profiles, detects drift, shadow re-plans on a
+        spare shard, and A/B-promotes winning plans into ``tune_dir``.
     chaos_hook:
         Test-only: ``hook(job, shard)`` called as each job starts
         executing.  The chaos suite uses it to kill pool workers
@@ -537,6 +608,7 @@ class JobServer:
         max_pending: Optional[int] = None,
         shard_depth: Optional[int] = None,
         autoscale=None,
+        autopilot=None,
         chaos_hook: Optional[Callable[[Job, Shard], None]] = None,
     ):
         if max_batch < 1:
@@ -586,6 +658,13 @@ class JobServer:
             from repro.serve.autoscale import Autoscaler
 
             self.autoscaler = Autoscaler(self, autoscale)
+        self.autopilot = None
+        if autopilot:
+            from repro.autopilot.daemon import Autopilot, AutopilotPolicy
+
+            policy_obj = (autopilot if isinstance(autopilot, AutopilotPolicy)
+                          else AutopilotPolicy())
+            self.autopilot = Autopilot(self, policy_obj)
         if metrics_dir:
             os.makedirs(metrics_dir, exist_ok=True)
 
@@ -655,6 +734,8 @@ class JobServer:
             shard.start()
         if self.autoscaler is not None:
             self.autoscaler.start()
+        if self.autopilot is not None:
+            self.autopilot.start()
         return self
 
     def close(self) -> None:
@@ -663,6 +744,8 @@ class JobServer:
         self._stop.set()
         if self.autoscaler is not None:
             self.autoscaler.stop()
+        if self.autopilot is not None:
+            self.autopilot.stop()
         with self._fleet_lock:
             shards = list(self.shards)
         for shard in shards:
@@ -716,6 +799,39 @@ class JobServer:
             raise
         return job.future
 
+    def submit_internal(self, kind: str, spec: Optional[Dict] = None,
+                        shard_name: Optional[str] = None,
+                        tenant: str = "__autopilot__",
+                        priority: int = 0) -> JobFuture:
+        """Queue one *internal* job, optionally pinned to one shard.
+
+        The autopilot's shadow and A/B traffic goes through here: it
+        bypasses tenant admission entirely (never counted against any
+        quota or the fleet depth bound — the work is the server's own),
+        and pinning goes *through* the rendezvous router via
+        :meth:`~repro.serve.router.ShardRouter.pin_exclusions`, so it
+        composes with crash-replay exclusion instead of sidestepping
+        routing.  Internal jobs still terminate through ``_finish``
+        like any other job (their records carry the internal tenant).
+        """
+        if kind not in JOB_KINDS:
+            raise UnknownJobKindError(kind)
+        spec = dict(spec or {})
+        key = route_key(kind, spec)
+        exclude: Tuple[str, ...] = ()
+        if shard_name is not None:
+            with self._fleet_lock:
+                exclude = self.router.pin_exclusions(shard_name)
+        shard = self.shard_for(key, exclude=exclude)
+        job = Job(kind=kind, spec=spec, priority=priority,
+                  batch_key=key, tenant=tenant)
+        job.shard = shard.name
+        with self._lock:
+            self._job_seq += 1
+            job.job_id = self._job_seq
+        shard.queue.submit(job)
+        return job.future
+
     def _admit(self, job: Job) -> None:
         """Fleet-wide admission: global depth and per-tenant quota."""
         with self._lock:
@@ -755,8 +871,8 @@ class JobServer:
                 shard = self.shard_for(job.batch_key or job.kind,
                                        exclude=(exclude,))
                 job.shard = shard.name
-                shard.replays_in += 1
                 with self._lock:
+                    shard.replays_in += 1
                     self.replays_total += 1
                     if reason == "pool-crash":
                         self.retries_total += 1
@@ -766,12 +882,38 @@ class JobServer:
                     KaliError(f"server closed while replaying job "
                               f"{job.job_id} ({reason})"))
 
+    def _observe(self, record: Dict, result: RunResult) -> None:
+        """Feed a finished job's record + engine result to the autopilot
+        miner (cheap, and never allowed to fail the job)."""
+        if self.autopilot is None:
+            return
+        try:
+            self.autopilot.observe_job(record, result)
+        except Exception:
+            pass
+
+    def _shard_named(self, name: Optional[str]) -> Optional[Shard]:
+        with self._fleet_lock:
+            for shard in self.shards:
+                if shard.name == name:
+                    return shard
+        return None
+
     def _finish(self, job: Job, record: Dict) -> None:
         """The single terminal point of every accepted job: record it,
-        release its tenant slot, resolve its future — exactly once."""
+        bump the producing shard's counters, release the tenant slot,
+        resolve the future — exactly once, all under one lock hold, so
+        a concurrent ``stat`` snapshot always sees shard counters that
+        sum to the fleet totals (the stat-sum invariant)."""
+        shard = self._shard_named(record.get("shard"))
         with self._lock:
-            if not record.get("ok"):
+            if record.get("ok"):
+                if shard is not None:
+                    shard.jobs_done += 1
+            else:
                 self.failures += 1
+                if shard is not None:
+                    shard.failures += 1
             self.records.append(record)
             left = self._tenant_pending.get(job.tenant, 1) - 1
             self._tenant_pending[job.tenant] = max(left, 0)
@@ -846,8 +988,13 @@ class JobServer:
             replays = self.replays_total
             tenant_pending = {t: n for t, n in self._tenant_pending.items()
                               if n}
+            # Same hold as the record list: every shard-counter mutation
+            # happens under this lock, so these snapshots cannot tear
+            # against the totals above (the stat-sum invariant).
+            shard_counters = {s.name: s.counter_snapshot() for s in shards}
         done = [r for r in records if r.get("ok")]
-        shard_entries = [s.describe() for s in shards]
+        shard_entries = [s.describe(counters=shard_counters[s.name])
+                        for s in shards]
         snapshot: List[Dict[str, Any]] = []
         for s in shards:
             snapshot.extend(s.queue.snapshot())
@@ -898,6 +1045,8 @@ class JobServer:
         }
         if self.autoscaler is not None:
             stat["autoscale"] = self.autoscaler.describe()
+        if self.autopilot is not None:
+            stat["autopilot"] = self.autopilot.describe()
         return stat
 
     # --- the blocking unix-socket front ----------------------------------
@@ -998,6 +1147,24 @@ class JobServer:
             while len(self.shards) > n:
                 self.retire_shard()
             return {"ok": True, "shards": len(self.shards)}
+        if cmd == "autopilot":
+            if self.autopilot is None:
+                return {"ok": False, "error": "autopilot is not enabled "
+                                              "(start with autopilot=)"}
+            op = req.get("op", "status")
+            if op == "status":
+                return {"ok": True, "autopilot": self.autopilot.describe()}
+            if op == "explain":
+                return {"ok": True,
+                        "explain": self.autopilot.explain(req.get("family"))}
+            if op == "force-replan":
+                if "kind" not in req:
+                    return {"ok": False,
+                            "error": "force-replan needs a 'kind'"}
+                family = self.autopilot.force_replan(req["kind"],
+                                                     req.get("spec"))
+                return {"ok": True, "family": family}
+            return {"ok": False, "error": f"unknown autopilot op {op!r}"}
         if cmd == "stop":
             self._stop.set()  # accept loop exits and closes everything
             return {"ok": True, "stopping": True}

@@ -387,3 +387,31 @@ def plan(
         "predicted_total_stay": cur * sweeps,
         "predicted_total_move": best["sweep_time"] * sweeps + best["move_cost"],
     }
+
+
+def plan_to_store_doc(
+    report: Dict,
+    arrays: Sequence[str],
+    key: Optional[str] = None,
+    meta: Optional[Dict] = None,
+) -> Optional[Dict]:
+    """A :func:`plan` report as a storable :class:`PlanStore` document.
+
+    None when the report recommends staying (nothing worth persisting).
+    ``meta`` rides along with the plan — the autopilot stamps its shadow
+    provenance (recommendation, predicted stay/move totals) there so a
+    promoted plan is auditable from the store alone.
+    """
+    from repro.tune.store import plan_from_layouts
+
+    if not report.get("layout"):
+        return None
+    merged = {
+        "recommendation": report.get("recommendation"),
+        "reason": report.get("reason"),
+        "predicted_total_stay": report.get("predicted_total_stay"),
+        "predicted_total_move": report.get("predicted_total_move"),
+        **(meta or {}),
+    }
+    return plan_from_layouts(list(arrays), report["layout"], key=key,
+                             meta=merged)

@@ -7,14 +7,20 @@ objects and counter names.  A :class:`LoadProfile` flattens exactly the
 tuner-relevant slice into aligned per-rank vectors, with the same three
 sources the obs registry supports: a live :class:`RunResult`, a
 ``repro-run-v1`` run file, or a ``--metrics-dir`` full of them.
+
+The serving-time additions at the bottom are the autopilot's mining
+layer: :func:`profile_sample` condenses one finished job's profile into
+the scalar drift signals, and :class:`ProfileWindow` keeps a bounded
+rolling window of those samples per job family for windowed statistics.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional
 
 import numpy as np
 
@@ -202,3 +208,63 @@ class LoadProfile:
                 f"{int(remote[r]):>12} {int(iters[r]):>10}"
             )
         return "\n".join(lines)
+
+
+# --- serving-time mining (the autopilot's input) ---------------------------
+
+
+def profile_sample(result, wall_s: float = 0.0) -> Dict[str, float]:
+    """One finished job's drift signals, as a flat scalar sample.
+
+    ``imbalance`` and ``remote_fraction`` come straight from the
+    :class:`LoadProfile`; ``invalidation_rate`` is schedule-cache
+    invalidations per executor iteration (a mesh/layout churn signal);
+    ``virtual_s`` is the engine's makespan (modeled service time on the
+    sim backend, measured on mp) and ``wall_s`` the serving-side wall
+    clock, so throughput trends ride in the same window.  The sample is
+    deliberately scalar — windows of them are cheap to keep per job
+    family forever.
+    """
+    profile = LoadProfile.from_run(result)
+    iters = int(profile.counter("iters").sum())
+    invalidations = int(profile.counter("cache_invalidations").sum())
+    return {
+        "imbalance": profile.imbalance(),
+        "remote_fraction": profile.remote_fraction(),
+        "invalidation_rate": invalidations / iters if iters else 0.0,
+        "virtual_s": float(profile.makespan),
+        "wall_s": float(wall_s),
+    }
+
+
+class ProfileWindow:
+    """A bounded rolling window of per-job scalar samples for one family.
+
+    The drift detector reads windowed means; ``series`` exposes the raw
+    stream for explain/debug output.  Not thread-safe on its own — the
+    autopilot touches each window from its daemon thread only.
+    """
+
+    def __init__(self, maxlen: int = 64):
+        self._samples: Deque[Dict[str, float]] = deque(maxlen=maxlen)
+        self.total = 0  # samples ever pushed (the window forgets)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def push(self, sample: Dict[str, float]) -> None:
+        self._samples.append(dict(sample))
+        self.total += 1
+
+    def series(self, name: str) -> List[float]:
+        return [float(s.get(name, 0.0)) for s in self._samples]
+
+    def mean(self, name: str, last: Optional[int] = None) -> float:
+        values = self.series(name)
+        if last is not None:
+            values = values[-last:]
+        return float(np.mean(values)) if values else 0.0
+
+    def last(self, name: str) -> float:
+        return float(self._samples[-1].get(name, 0.0)) \
+            if self._samples else 0.0

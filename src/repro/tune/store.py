@@ -30,6 +30,24 @@ what makes job 2 hash to job 1's key.
 
 Failure semantics match the schedule cache: corrupt or foreign entries
 load as a miss and are deleted; stores are atomic (temp + ``os.replace``).
+
+Concurrent writers
+------------------
+Two writers can race on the same fingerprint file: a shard storing back
+a layout its run just learned, and the autopilot hot-swapping a plan it
+promoted through A/B.  Plain ``os.replace`` makes that a silent
+last-writer-wins.  The store therefore follows the schedule disk cache's
+rename-and-stat-validate discipline:
+
+* every load returns (and memoizes) the entry's **stamp** — the
+  ``(mtime_ns, size, inode)`` triple of the file that produced it;
+* ``store(..., expect=stamp)`` is a compare-and-swap: the replace only
+  happens while the on-disk stamp still matches what the writer read,
+  otherwise the write is dropped and counted in ``races`` (the caller
+  re-reads and re-decides);
+* after the rename the store re-stats the path and checks the inode is
+  its own — if another writer replaced it in the same instant, the memo
+  is not poisoned with the losing document.
 """
 
 from __future__ import annotations
@@ -39,8 +57,10 @@ import json
 import os
 import struct
 import tempfile
+import threading
+from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -148,14 +168,22 @@ def apply_plan(ctx, plan: Dict) -> List[str]:
 # --- the store -------------------------------------------------------------
 
 
+Stamp = Tuple[int, int, int]
+
+_UNSET = object()
+
+
 class PlanStore:
     """One directory of content-addressed tune-plan entries (JSON).
 
     Entries are small (an owner map at most), human-inspectable, and
     shared freely between processes — stores are atomic and loads are
-    corruption-tolerant, so concurrent servers at worst write the same
-    plan twice.
+    corruption-tolerant.  Writers that can *disagree* (a shard's
+    store-back vs. the autopilot's promotion) coordinate through
+    stamped compare-and-swap stores (see module docstring).
     """
+
+    MEMO_CAP = 64
 
     def __init__(self, path):
         self.dir = Path(path)
@@ -164,6 +192,9 @@ class PlanStore:
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        self.races = 0
+        self._memo: "OrderedDict[str, Tuple[Stamp, Dict]]" = OrderedDict()
+        self._memo_lock = threading.Lock()
 
     def _path(self, key: str) -> Path:
         return self.dir / f"{key}{_ENTRY_SUFFIX}"
@@ -171,21 +202,67 @@ class PlanStore:
     def entries(self) -> List[Path]:
         return sorted(self.dir.glob(f"*{_ENTRY_SUFFIX}"))
 
+    @staticmethod
+    def _stamp(path: Path) -> Optional[Stamp]:
+        """Identity of the entry currently at ``path`` (None = absent)."""
+        try:
+            st = path.stat()
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size, st.st_ino)
+
+    def _remember(self, key: str, stamp: Optional[Stamp],
+                  doc: Dict) -> None:
+        if stamp is None:
+            return
+        with self._memo_lock:
+            self._memo[key] = (stamp, doc)
+            self._memo.move_to_end(key)
+            while len(self._memo) > self.MEMO_CAP:
+                self._memo.popitem(last=False)
+
+    def _forget(self, key: str) -> None:
+        with self._memo_lock:
+            self._memo.pop(key, None)
+
     def load(self, key: str) -> Optional[Dict]:
         """The plan stored under ``key``, or None.  Unreadable or
         foreign-format entries are deleted and count as a miss."""
+        doc, _ = self.load_stamped(key)
+        return doc
+
+    def load_stamped(self, key: str) -> Tuple[Optional[Dict], Optional[Stamp]]:
+        """Like :meth:`load`, but also return the entry's stamp.
+
+        The stamp is what :meth:`store` CASes against; ``(None, None)``
+        means no (valid) entry.  A memoized document is only trusted
+        while a fresh stat still matches its stamp — an out-of-band
+        rewrite drops the memo and falls through to a real read.
+        """
         path = self._path(key)
+        with self._memo_lock:
+            memo = self._memo.get(key)
+        if memo is not None:
+            stamp, doc = memo
+            if self._stamp(path) == stamp:
+                self.hits += 1
+                with self._memo_lock:
+                    if key in self._memo:
+                        self._memo.move_to_end(key)
+                return doc, stamp
+            self._forget(key)
+        stamp = self._stamp(path)
         try:
             with open(path) as fh:
                 doc = json.load(fh)
         except FileNotFoundError:
             self.misses += 1
-            return None
+            return None, None
         except (OSError, ValueError):
             self.corrupt += 1
             self.misses += 1
             self._unlink(path)
-            return None
+            return None, None
         if (
             not isinstance(doc, dict)
             or doc.get("format") != TUNEPLAN_FORMAT
@@ -195,24 +272,57 @@ class PlanStore:
             self.corrupt += 1
             self.misses += 1
             self._unlink(path)
-            return None
+            return None, None
         self.hits += 1
-        return doc
+        self._remember(key, stamp, doc)
+        return doc, stamp
 
-    def store(self, key: str, plan: Dict) -> None:
-        """Atomically persist ``plan`` under ``key``."""
+    def store(self, key: str, plan: Dict, expect=_UNSET) -> bool:
+        """Atomically persist ``plan`` under ``key``; True if it landed.
+
+        Without ``expect`` this is the plain last-writer-wins store.
+        With ``expect`` it is a compare-and-swap: the write only happens
+        while the on-disk stamp still equals ``expect`` (``None`` =
+        "the entry must not exist yet").  A lost CAS is counted in
+        ``races`` and returns False — the caller re-loads and
+        re-decides.  After the rename the path is re-statted; if
+        another writer overtook us in that same instant, their entry
+        stands and ours is not memoized.
+        """
         doc = dict(plan)
         doc["format"] = TUNEPLAN_FORMAT
         doc["key"] = key
+        path = self._path(key)
         fd, tmp = tempfile.mkstemp(prefix=".tmp-", dir=self.dir)
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(doc, fh)
-            os.replace(tmp, self._path(key))
+            if expect is not _UNSET and self._stamp(path) != expect:
+                self._unlink(Path(tmp))
+                self.races += 1
+                self._forget(key)
+                return False
+            our_ino = os.stat(tmp).st_ino
+            os.replace(tmp, path)
         except BaseException:
             self._unlink(Path(tmp))
             raise
         self.stores += 1
+        landed = self._stamp(path)
+        if landed is not None and landed[2] == our_ino:
+            self._remember(key, landed, doc)
+        else:
+            # Overtaken between rename and stat: the other writer's
+            # entry is the durable one, so leave the memo honest.
+            self.races += 1
+            self._forget(key)
+        return True
+
+    def discard(self, key: str) -> bool:
+        """Remove the entry under ``key`` (rollback to "never learned");
+        True when something was deleted."""
+        self._forget(key)
+        return self._unlink(self._path(key))
 
     @staticmethod
     def _unlink(path: Path) -> bool:
@@ -228,6 +338,7 @@ class PlanStore:
             "misses": self.misses,
             "stores": self.stores,
             "corrupt": self.corrupt,
+            "races": self.races,
             "entries": len(self.entries()),
         }
 

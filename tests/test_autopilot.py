@@ -1,0 +1,482 @@
+"""Unit and end-to-end tests for repro.autopilot: drift detection on a
+fake clock, the PlanStore's stamped compare-and-swap (the promotion
+hot-swap vs shard store-back race), the A/B decision logic (promote /
+reject / rollback), and the full observe → drift → shadow → A/B →
+promote loop on a live 2-shard fleet.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.autopilot import (
+    AutopilotJournal,
+    AutopilotPolicy,
+    DriftDetector,
+    DriftPolicy,
+    has_profiler,
+    profiler_for,
+)
+from repro.autopilot.daemon import Campaign
+from repro.errors import KaliError
+from repro.serve.autoscale import HysteresisLatch
+from repro.tune.store import PlanStore
+
+
+def _sample(imbalance=1.0, remote=0.0, invalidation=0.0, wall=0.01):
+    return {"imbalance": imbalance, "remote_fraction": remote,
+            "invalidation_rate": invalidation, "virtual_s": 0.0,
+            "wall_s": wall}
+
+
+# --- the shared hysteresis primitive --------------------------------------
+
+
+def test_hysteresis_latch_two_watermarks():
+    latch = HysteresisLatch(1.6, 1.2)
+    latch.observe(1.4, 0)                      # in the band: nothing held
+    assert latch.high_since is None and latch.low_since is None
+    latch.observe(1.7, 1)
+    assert latch.high_since == 1
+    latch.observe(1.9, 2)                      # held, not restarted
+    assert latch.high_since == 1
+    assert latch.high_held(3, 2) and not latch.high_held(2, 2)
+    latch.observe(1.0, 4)                      # through the low watermark
+    assert latch.high_since is None and latch.low_since == 4
+    with pytest.raises(KaliError):
+        HysteresisLatch(1.0, 1.0)
+
+
+# --- drift detection on a fake clock (sample-index time) ------------------
+
+
+def test_drift_fires_exactly_after_step_change():
+    """window=4, sustain=2, high=1.6: a 1.0 -> 2.0 step at sample 10
+    pushes the windowed mean over 1.6 at sample 12, so the detector
+    fires at sample 13 — not a sample earlier or later."""
+    det = DriftDetector(DriftPolicy(window=4, sustain=2, cooldown=8))
+    events = []
+    for t in range(20):
+        value = 1.0 if t < 10 else 2.0
+        event = det.observe(_sample(imbalance=value))
+        if event:
+            events.append((t, event))
+    assert [t for t, _ in events] == [13]
+    assert events[0][1]["signals"] == {"imbalance": 2.0}
+    assert det.fired == 1
+
+
+def test_drift_sustain_one_fires_on_crossing_sample():
+    det = DriftDetector(DriftPolicy(window=4, sustain=1, cooldown=8))
+    fired_at = [t for t in range(20)
+                if det.observe(_sample(imbalance=1.0 if t < 10 else 2.0))]
+    assert fired_at == [12]                    # mean crosses 1.6 at 12
+
+
+def test_drift_slow_ramp_fires_once_at_crossing():
+    """v(t) = 1.0 + 0.02t: the window-4 mean is 1.0 + 0.02(t - 1.5),
+    crossing 1.6 at t=32; sustain=2 fires at t=33 — exactly once, since
+    the signal stays high and the detector disarms after firing."""
+    det = DriftDetector(DriftPolicy(window=4, sustain=2, cooldown=8))
+    fired_at = [t for t in range(60)
+                if det.observe(_sample(imbalance=1.0 + 0.02 * t))]
+    assert fired_at == [33]
+
+
+def test_drift_noisy_stationary_never_fires():
+    det = DriftDetector(DriftPolicy(window=4, sustain=2, cooldown=8))
+    noisy = [1.45, 1.15, 1.40, 1.20]           # mean ~1.3, spikes to 1.45
+    assert all(det.observe(_sample(imbalance=noisy[t % 4])) is None
+               for t in range(100))
+    assert det.fired == 0
+
+
+def test_drift_hysteresis_blocks_refire_until_rearm():
+    """After a fire the signal hovering above the LOW watermark must
+    never refire (disarmed), even past the cooldown; only falling
+    through low rearms it, after which a new excursion fires again."""
+    det = DriftDetector(DriftPolicy(window=4, sustain=2, cooldown=4))
+    t = 0
+
+    def feed(value, n):
+        nonlocal t
+        fired = []
+        for _ in range(n):
+            if det.observe(_sample(imbalance=value)):
+                fired.append(t)
+            t += 1
+        return fired
+
+    assert feed(1.0, 10) == []
+    assert feed(2.0, 10) == [13]               # the step-change fire
+    # Oscillate between the watermarks: above low, sometimes above high.
+    fired = []
+    for _ in range(10):
+        fired += feed(1.7, 1) + feed(1.3, 1)
+    assert fired == []                         # disarmed: no flapping
+    assert feed(0.8, 8) == []                  # mean falls through low
+    assert det.describe()["armed"]["imbalance"] is True
+    refires = feed(2.0, 8)
+    assert len(refires) == 1                   # rearmed: exactly one more
+    assert det.fired == 2
+
+
+def test_drift_cooldown_separates_distinct_signals():
+    """With a long cooldown, a second signal crossing its own watermark
+    right after the first fire must wait the cooldown out."""
+    det = DriftDetector(DriftPolicy(window=2, sustain=1, cooldown=10))
+    det.observe(_sample(imbalance=2.0))
+    event = det.observe(_sample(imbalance=2.0))
+    assert event and list(event["signals"]) == ["imbalance"]
+    # remote_fraction now crosses its high too — still inside cooldown.
+    for _ in range(5):
+        assert det.observe(_sample(imbalance=1.0, remote=0.9)) is None
+
+
+# --- PlanStore: stamped compare-and-swap (satellite 1) --------------------
+
+
+def _plan_doc(tag):
+    return {"arrays": ["a"], "layout": {"kind": "block"},
+            "meta": {"tag": tag}}
+
+
+def test_plan_store_cas_loses_to_concurrent_writer(tmp_path):
+    """The promotion race: writer A loads a stamp, writer B replaces the
+    entry, A's CAS must fail, count the race, and leave B's entry."""
+    store_a = PlanStore(tmp_path)
+    store_b = PlanStore(tmp_path)
+    assert store_a.store("k", _plan_doc("original"))
+    _, stamp = store_a.load_stamped("k")
+
+    assert store_b.store("k", _plan_doc("shard-store-back"))
+    assert store_a.store("k", _plan_doc("promotion"), expect=stamp) is False
+    assert store_a.races == 1
+    assert store_a.load("k")["meta"]["tag"] == "shard-store-back"
+
+    # Re-read gives a fresh stamp the CAS now succeeds against.
+    _, fresh = store_a.load_stamped("k")
+    assert store_a.store("k", _plan_doc("promotion"), expect=fresh) is True
+    assert store_b.load("k")["meta"]["tag"] == "promotion"
+
+
+def test_plan_store_memo_invalidated_by_out_of_band_rewrite(tmp_path):
+    store = PlanStore(tmp_path)
+    other = PlanStore(tmp_path)
+    store.store("k", _plan_doc("v1"))
+    assert store.load("k")["meta"]["tag"] == "v1"   # memoized
+    time.sleep(0.01)                                # distinct mtime_ns
+    other.store("k", _plan_doc("v2"))
+    assert store.load("k")["meta"]["tag"] == "v2"   # stat mismatch -> reread
+
+
+def test_plan_store_cas_none_means_must_not_exist(tmp_path):
+    store = PlanStore(tmp_path)
+    assert store.store("k", _plan_doc("first"), expect=None) is True
+    assert store.store("k", _plan_doc("second"), expect=None) is False
+    assert store.load("k")["meta"]["tag"] == "first"
+
+
+def test_plan_store_discard(tmp_path):
+    store = PlanStore(tmp_path)
+    store.store("k", _plan_doc("v1"))
+    assert store.discard("k") is True
+    assert store.load("k") is None
+    assert store.discard("k") is False
+
+
+def test_plan_store_stress_many_writers(tmp_path):
+    """Interleaved stamped writers: every lost CAS is reported False and
+    the surviving entry is always the last *successful* store."""
+    import threading
+
+    store = PlanStore(tmp_path)
+    store.store("k", _plan_doc("seed"))
+    outcomes = []
+    lock = threading.Lock()
+
+    def writer(i):
+        mine = PlanStore(tmp_path)
+        for j in range(10):
+            doc, stamp = mine.load_stamped("k")
+            ok = mine.store("k", _plan_doc(f"w{i}-{j}"), expect=stamp)
+            with lock:
+                outcomes.append(ok)
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30)
+    final = store.load("k")
+    assert final is not None and final["meta"]["tag"].startswith("w")
+    assert any(outcomes)                # somebody won
+    # The file is a valid store entry (no torn writes).
+    assert json.loads((tmp_path / "k.tuneplan").read_text())["key"] == "k"
+
+
+# --- journal ---------------------------------------------------------------
+
+
+def test_journal_roundtrip_and_corruption_tolerance(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    journal = AutopilotJournal(path)
+    journal.append("drift", family="f1")
+    journal.append("decision", decision="promoted", family="f1")
+    with open(path, "a") as fh:
+        fh.write("not json\n")
+        fh.write(json.dumps({"format": "other-v1", "event": "x"}) + "\n")
+    entries = AutopilotJournal.read(path)
+    assert [e["event"] for e in entries] == ["drift", "decision"]
+    assert entries[0]["seq"] == 1 and entries[1]["seq"] == 2
+    assert journal.decisions() == {"promoted": 1, "rejected": 0,
+                                   "rolled-back": 0}
+    assert AutopilotJournal.read(str(tmp_path / "absent.jsonl")) == []
+
+
+# --- profilers -------------------------------------------------------------
+
+
+def test_profiler_registry_and_determinism():
+    import numpy as np
+
+    assert has_profiler("jacobi_served")
+    profiler = profiler_for("jacobi_served")
+    a = profiler(2, {"nodes": 120, "seed": 5})
+    b = profiler(2, {"nodes": 120, "seed": 5})
+    assert a.n == b.n == 120
+    assert np.array_equal(a.current, b.current)
+    assert np.array_equal(a.table, b.table)
+    assert len(a.row_weights) == len(a.arrays)
+    with pytest.raises(KaliError):
+        profiler_for("no_such_kind")
+
+
+# --- the A/B decision (unit level, synthetic records) ---------------------
+
+
+def _ab_fixture(tmp_path, monkeypatch=None):
+    """A live 2-shard server + autopilot with a synthetic in-flight
+    campaign, so _decide_ab / _verify_promotion can be driven directly."""
+    from repro.autopilot.daemon import Autopilot
+    from repro.serve.server import JobServer
+
+    server = JobServer(2, shards=2, tune_dir=str(tmp_path / "tune"))
+    ap = Autopilot(server, AutopilotPolicy(
+        ab_jobs=2, min_win=0.05, verify_jobs=2, verify_grace=0,
+        rollback_ratio=1.5))
+    family = ap._family_for("jacobi_served", {"seed": 1})
+    family.plan_key = "fam-key"
+    ap.store.store("fam-key", _plan_doc("incumbent"))
+    old_doc, old_stamp = ap.store.load_stamped("fam-key")
+    campaign = Campaign(0.0)
+    campaign.home_shard = "shard-0"
+    campaign.spare_shard = "shard-1"
+    campaign.old_doc, campaign.old_stamp = old_doc, old_stamp
+    campaign.candidate_doc = _plan_doc("candidate")
+    campaign.report = {"predicted_total_stay": 10.0,
+                       "predicted_total_move": 4.0}
+    family.campaign = campaign
+    family.state = "ab"
+    return server, ap, family
+
+
+def _rec(service, sha="same"):
+    return {"ok": True, "wall_s": service, "tenant": "__autopilot__",
+            "summary": {"solution_sha256": sha, "virtual_s": service}}
+
+
+def test_ab_promotes_when_candidate_wins(tmp_path):
+    server, ap, family = _ab_fixture(tmp_path)
+    a = [_rec(2.0), _rec(2.0)]
+    b = [_rec(3.0), _rec(0.5)]          # first B job is warmup
+    ap._decide_ab(family, a, b)
+    assert family.state == "verify"
+    assert family.last_decision == "promoted"
+    assert ap.store.load("fam-key")["meta"]["tag"] == "candidate"
+    assert ap.describe()["promoted"] == 1
+    entry = ap.journal.tail(1)[0]
+    assert entry["decision"] == "promoted"
+    assert entry["b_mean_service_s"] == 0.5   # warmup excluded
+    server.close()
+
+
+def test_ab_rejects_when_candidate_loses(tmp_path):
+    server, ap, family = _ab_fixture(tmp_path)
+    ap._decide_ab(family, [_rec(1.0), _rec(1.0)], [_rec(1.0), _rec(1.2)])
+    assert family.state == "observe" and family.campaign is None
+    assert family.last_decision == "rejected"
+    assert ap.store.load("fam-key")["meta"]["tag"] == "incumbent"
+    assert ap.journal.tail(1)[0]["reason"] == "ab-loss"
+    server.close()
+
+
+def test_ab_rejects_on_divergent_solutions(tmp_path):
+    server, ap, family = _ab_fixture(tmp_path)
+    ap._decide_ab(family, [_rec(2.0), _rec(2.0)],
+                  [_rec(0.5, sha="other"), _rec(0.5, sha="other")])
+    assert family.last_decision == "rejected"
+    assert ap.journal.tail(1)[0]["reason"] == "not-bit-identical"
+    assert ap.store.load("fam-key")["meta"]["tag"] == "incumbent"
+    server.close()
+
+
+def test_ab_rejects_on_model_loss(tmp_path):
+    """Measured win but the model predicts moving costs more than
+    staying: the move-cost-adjusted comparison vetoes the promotion."""
+    server, ap, family = _ab_fixture(tmp_path)
+    family.campaign.report = {"predicted_total_stay": 4.0,
+                              "predicted_total_move": 10.0}
+    ap._decide_ab(family, [_rec(2.0), _rec(2.0)], [_rec(0.5), _rec(0.5)])
+    assert family.last_decision == "rejected"
+    assert ap.journal.tail(1)[0]["reason"] == "model-loss"
+    server.close()
+
+
+def test_ab_store_race_rejects_cleanly(tmp_path):
+    """A shard stores back between the A/B read and the promotion CAS;
+    one retry CASes against the fresh stamp and wins (the verdict holds
+    regardless of which incumbent copy was on disk)."""
+    server, ap, family = _ab_fixture(tmp_path)
+    PlanStore(str(tmp_path / "tune")).store("fam-key",
+                                            _plan_doc("store-back"))
+    ap._decide_ab(family, [_rec(2.0), _rec(2.0)], [_rec(0.5), _rec(0.5)])
+    assert family.last_decision == "promoted"
+    assert ap.store.load("fam-key")["meta"]["tag"] == "candidate"
+    assert ap.store.races >= 1
+    server.close()
+
+
+def test_verify_rolls_back_regressed_promotion(tmp_path):
+    server, ap, family = _ab_fixture(tmp_path)
+    ap._decide_ab(family, [_rec(2.0), _rec(2.0)], [_rec(0.5), _rec(0.5)])
+    assert family.state == "verify"
+    # Post-promotion user jobs come in far slower than the B arm said.
+    for service in (2.0, 2.0):
+        ap._ingest({"kind": "jacobi_served", "spec": {"seed": 1},
+                    "ok": True, "summary": {}},
+                   _sample(wall=service) | {"virtual_s": service}, now=0.0)
+    assert family.state == "observe"
+    assert family.last_decision == "rolled-back"
+    assert ap.store.load("fam-key")["meta"]["tag"] == "incumbent"
+    assert ap.describe()["rolled_back"] == 1
+    assert ap.journal.tail(1)[0]["decision"] == "rolled-back"
+    server.close()
+
+
+def test_verify_keeps_healthy_promotion(tmp_path):
+    server, ap, family = _ab_fixture(tmp_path)
+    ap._decide_ab(family, [_rec(2.0), _rec(2.0)], [_rec(0.5), _rec(0.5)])
+    for service in (0.55, 0.6):
+        ap._ingest({"kind": "jacobi_served", "spec": {"seed": 1},
+                    "ok": True, "summary": {}},
+                   _sample(wall=service) | {"virtual_s": service}, now=0.0)
+    assert family.state == "observe"
+    assert family.last_decision == "promoted"
+    assert ap.store.load("fam-key")["meta"]["tag"] == "candidate"
+    assert ap.journal.tail(1)[0]["event"] == "verify-ok"
+    server.close()
+
+
+# --- end-to-end on a live 2-shard fleet (satellite 4) ---------------------
+
+
+@pytest.mark.slow
+def test_autopilot_end_to_end_promotion(tmp_path):
+    """Induced skew -> drift -> shadow re-plan on the spare shard ->
+    A/B -> promotion -> the next job replays the learned layout with
+    zero moves, bit-identical to every job before it."""
+    from repro.serve.server import JobServer
+
+    policy = AutopilotPolicy(
+        interval=1000.0,          # daemon dormant: the test drives step()
+        drift=DriftPolicy(window=2, sustain=1, cooldown=4),
+        shadow_sweeps=64, ab_jobs=2, min_win=0.0, verify_jobs=2)
+    spec = {"nodes": 300, "sweeps": 6, "seed": 11}
+    with JobServer(2, shards=2, tune_dir=str(tmp_path / "tune"),
+                   autopilot=policy) as server:
+        ap = server.autopilot
+        shas = set()
+        for _ in range(3):
+            rec = server.submit("jacobi_served", spec,
+                                tenant="t1").result(timeout=300)
+            assert rec["ok"], rec.get("error")
+            assert rec["summary"]["plan_applied"] is False
+            shas.add(rec["summary"]["solution_sha256"])
+            ap.step()
+
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            ap.step()
+            d = ap.describe()
+            if d["decisions"] >= 1 and d["campaigns_active"] == 0:
+                break
+            time.sleep(0.05)
+        d = ap.describe()
+        assert d["promoted"] == 1, ap.journal.tail(10)
+        assert d["drift_events"] >= 1 and d["shadow_runs"] >= 1
+
+        # The very next job replays the promoted layout: no moves (the
+        # plan is applied before scatter) and the same solution bits.
+        rec = server.submit("jacobi_served", spec,
+                            tenant="t1").result(timeout=300)
+        assert rec["ok"] and rec["summary"]["plan_applied"] is True
+        shas.add(rec["summary"]["solution_sha256"])
+        assert len(shas) == 1
+
+        # Promotion is durable in the journal and the registry.
+        entries = AutopilotJournal.read(ap.journal.path)
+        assert any(e.get("decision") == "promoted" for e in entries)
+        assert all(e["format"] == "repro-autopilot-v1" for e in entries)
+        from repro.obs.registry import MetricsRegistry
+        reg = MetricsRegistry.from_fleet(server.stat())
+        assert reg.get("autopilot.promoted") == 1
+
+        # Internal traffic was never charged to a tenant.
+        stat = server.stat()
+        assert "__autopilot__" not in stat.get("sheds_by_tenant", {})
+
+
+def test_autopilot_requires_tune_dir():
+    from repro.serve.server import JobServer
+
+    with pytest.raises(KaliError):
+        JobServer(2, shards=2, autopilot=True)
+
+
+def test_autopilot_socket_command_surface(tmp_path):
+    from repro.serve.server import JobServer
+
+    with JobServer(2, shards=2, tune_dir=str(tmp_path / "t"),
+                   autopilot=AutopilotPolicy(interval=1000.0)) as server:
+        reply = server.handle_request({"cmd": "autopilot", "op": "status"})
+        assert reply["ok"] and "decisions" in reply["autopilot"]
+        reply = server.handle_request({"cmd": "autopilot", "op": "explain"})
+        assert reply["ok"] and reply["explain"]["families"] == []
+        reply = server.handle_request(
+            {"cmd": "autopilot", "op": "force-replan",
+             "kind": "jacobi_served", "spec": {"seed": 3}})
+        assert reply["ok"] and reply["family"].startswith("jacobi_served:")
+        reply = server.handle_request({"cmd": "autopilot", "op": "bogus"})
+        assert not reply["ok"]
+
+    with JobServer(2, shards=1) as server:
+        reply = server.handle_request({"cmd": "autopilot", "op": "status"})
+        assert not reply["ok"] and "not enabled" in reply["error"]
+
+
+def test_force_replan_arms_unseen_family(tmp_path):
+    """force-replan on a family with no traffic arms a pending force
+    that opens the campaign as soon as its first record is mined."""
+    from repro.autopilot.daemon import Autopilot
+    from repro.serve.server import JobServer
+
+    server = JobServer(2, shards=2, tune_dir=str(tmp_path / "tune"))
+    ap = Autopilot(server, AutopilotPolicy(interval=1000.0))
+    key = ap.force_replan("jacobi_served", {"seed": 9})
+    ap.step(now=0.0)
+    family = ap.families[key]
+    assert family.force_pending is True
+    assert ap.journal.tail(1)[0]["event"] == "force-armed"
+    server.close()

@@ -61,6 +61,65 @@ def test_stat_totals_equal_sum_of_shard_counters(tmp_path):
     assert stat["router"]["shards"] == ["shard-0", "shard-1"]
 
 
+def test_stat_sum_invariant_under_concurrent_snapshots():
+    """Stress the stat-sum invariant: counter mutations and ``stat()``
+    snapshots race from many threads, and *every* snapshot must satisfy
+    ``total == sum(shard counters)`` for jobs_done/failures/retries —
+    the per-shard sums are taken under the same server-lock hold as the
+    totals, so a half-applied mutation can never tear a snapshot."""
+    from repro.machine.stats import RankStats, RunResult
+
+    def quick(shard, spec):
+        if spec["i"] % 7 == 3:
+            raise ValueError("injected failure")
+        result = RunResult(nranks=shard.nranks,
+                           clocks=[0.0] * shard.nranks,
+                           stats=[RankStats(rank=r)
+                                  for r in range(shard.nranks)],
+                           values=[None] * shard.nranks)
+        return result, {"i": spec["i"]}
+
+    register_job_kind("_fleet_quick", quick)
+    violations = []
+    done = threading.Event()
+
+    def snapshotter(server):
+        while not done.is_set():
+            stat = server.stat()
+            shards = stat["shards"]
+            for total_key in ("jobs_done", "failures", "retries"):
+                total = stat[total_key]
+                parts = sum(e[total_key] for e in shards)
+                if total != parts:
+                    violations.append((total_key, total, parts))
+
+    try:
+        with JobServer(2, shards=2, max_batch=4) as server:
+            readers = [threading.Thread(target=snapshotter, args=(server,))
+                       for _ in range(4)]
+            for t in readers:
+                t.start()
+            futures = [server.submit("_fleet_quick", {"i": i},
+                                     tenant=f"t{i % 3}")
+                       for i in range(120)]
+            records = [f.result(timeout=120) for f in futures]
+            done.set()
+            for t in readers:
+                t.join(30)
+            final = server.stat()
+    finally:
+        done.set()
+        del JOB_KINDS["_fleet_quick"]
+
+    assert not violations, f"torn stat snapshots: {violations[:5]}"
+    failed = sum(1 for r in records if not r.get("ok"))
+    assert failed == sum(1 for i in range(120) if i % 7 == 3)
+    assert final["jobs_done"] == sum(
+        e["jobs_done"] for e in final["shards"]) == 120 - failed
+    assert final["failures"] == sum(
+        e["failures"] for e in final["shards"]) == failed
+
+
 def test_single_shard_stat_matches_legacy_shape(tmp_path):
     """shards=1 must look exactly like the pre-sharding server to any
     stat consumer: same keys, same meanings, one shard entry."""

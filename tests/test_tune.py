@@ -347,7 +347,7 @@ class TestPlanStore:
         assert loaded["layout"]["kind"] == "block"
         assert loaded["meta"] == {"moves": 1}
         assert store.stats() == {"hits": 1, "misses": 0, "stores": 1,
-                                 "corrupt": 0, "entries": 1}
+                                 "corrupt": 0, "races": 0, "entries": 1}
 
     def test_missing_corrupt_and_foreign_entries_miss(self, tmp_path):
         store = PlanStore(tmp_path)
